@@ -1,0 +1,14 @@
+"""Reporting helper shared by all benchmarks: persist each reproduced
+table/series under ``benchmarks/_artifacts/`` and echo it."""
+
+from __future__ import annotations
+
+import pathlib
+
+ARTIFACTS = pathlib.Path(__file__).parent / "_artifacts"
+
+
+def report(name: str, text: str) -> None:
+    ARTIFACTS.mkdir(exist_ok=True)
+    (ARTIFACTS / f"{name}.txt").write_text(text)
+    print(f"\n===== {name} =====\n{text}")

@@ -1,0 +1,111 @@
+"""E1 (Fig. 1): the four input-file-to-run mappings.
+
+Regenerates Fig. 1 as behaviour: for each mapping a)-d) the bench
+imports synthetic inputs, asserts the mapping produces exactly the runs
+the figure shows, and times the import path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Experiment, MemoryServer
+from repro.core import Parameter, Result
+from repro.parse import (Importer, InputDescription, NamedLocation,
+                         RunSeparator, TabularColumn, TabularLocation)
+from _helpers import report
+
+
+def make_experiment():
+    server = MemoryServer()
+    return Experiment.create(server, "fig1", [
+        Parameter("tag"),
+        Parameter("env"),
+        Parameter("size", datatype="integer", occurrence="multiple"),
+        Result("bw", datatype="float", occurrence="multiple"),
+    ])
+
+
+def description(separator=None):
+    return InputDescription([
+        NamedLocation("tag", "tag="),
+        TabularLocation([TabularColumn("size", 1),
+                         TabularColumn("bw", 2)], start="DATA"),
+    ], separator=separator)
+
+
+def run_text(tag, n_rows=50):
+    rows = "\n".join(f" {i} {float(i) * 1.5}" for i in range(1, n_rows + 1))
+    return f"tag={tag}\nDATA\n{rows}\n"
+
+
+class TestFig1Mappings:
+    def test_case_a_single_file_single_run(self, benchmark):
+        def case_a():
+            exp = make_experiment()
+            imp = Importer(exp, description(), force=True)
+            imp.import_text(run_text("a"), "a.txt")
+            return exp
+        exp = benchmark(case_a)
+        assert exp.n_runs() == 1
+        benchmark.extra_info["runs_created"] = 1
+
+    def test_case_b_separated_runs(self, benchmark):
+        text = "".join(f"=== run ===\n{run_text(f'b{i}')}"
+                       for i in range(4))
+
+        def case_b():
+            exp = make_experiment()
+            imp = Importer(
+                exp, description(RunSeparator("=== run ===",
+                                              keep_line=False)),
+                force=True)
+            imp.import_text(text, "b.txt")
+            return exp
+        exp = benchmark(case_b)
+        assert exp.n_runs() == 4
+        benchmark.extra_info["runs_created"] = 4
+
+    def test_case_c_many_files_many_runs(self, benchmark, tmp_path):
+        paths = []
+        for i in range(4):
+            p = tmp_path / f"c{i}.txt"
+            p.write_text(run_text(f"c{i}"))
+            paths.append(p)
+
+        def case_c():
+            exp = make_experiment()
+            Importer(exp, description(),
+                     force=True).import_files(paths)
+            return exp
+        exp = benchmark(case_c)
+        assert exp.n_runs() == 4
+
+    def test_case_d_merged_files_single_run(self, benchmark, tmp_path):
+        data = tmp_path / "data.txt"
+        data.write_text(run_text("ignored"))
+        env = tmp_path / "env.txt"
+        env.write_text("env=cluster-A\n")
+        desc_env = InputDescription([NamedLocation("env", "env=")])
+
+        def case_d():
+            exp = make_experiment()
+            Importer(exp, force=True).import_merged(
+                [(data, description()), (env, desc_env)])
+            return exp
+        exp = benchmark(case_d)
+        assert exp.n_runs() == 1
+        run = exp.load_run(1)
+        assert run.once["env"] == "cluster-A"
+        assert len(run.datasets) == 50
+        assert len(run.source_files) == 2
+
+    def test_report(self, benchmark, tmp_path):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        lines = ["Fig. 1 mappings reproduced:",
+                 "  a) 1 file, 1 description        -> 1 run",
+                 "  b) 1 file + run separators      -> 4 runs",
+                 "  c) 4 files, 1 description       -> 4 runs",
+                 "  d) 2 files merged, 2 descriptions -> 1 run "
+                 "(50 datasets + env)"]
+        report("fig1_import_mappings", "\n".join(lines) + "\n")

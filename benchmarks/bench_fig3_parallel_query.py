@@ -1,0 +1,178 @@
+"""E3 (Fig. 3): parallel query processing across cluster nodes.
+
+Reproduces the Section-4.3 experiment the paper sketches, in two parts:
+
+1. **Real execution** — the thread-based executor runs the same query
+   DAG on 1..8 simulated nodes with per-node database servers and
+   produces results identical to serial execution.  (This host has a
+   single CPU core, so measured wall-clock cannot speed up — see
+   DESIGN.md; the executor is benchmarked for overhead, correctness is
+   asserted.)
+2. **Schedule simulation** — per-element durations from a profiled
+   serial run drive a discrete-event simulation of the Fig. 3 cluster
+   (placement + interconnect transfers), producing the speedup curve
+   the paper's parallelisation would achieve.
+
+Expected shape: simulated speedup grows with nodes until it saturates
+near the DAG's effective parallelism ("the number of cluster nodes that
+can be used efficiently is limited to the effective degree of
+parallelism in the query processing"); locality scheduling needs the
+fewest transfers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import (HIGH_SPEED, LevelScheduler,
+                            LocalityScheduler, ParallelQueryExecutor,
+                            RoundRobinScheduler, SimulatedCluster,
+                            speedup_curve, simulate_schedule)
+from repro.query import (Operator, Output, ParameterSpec, Query, Source)
+from _helpers import report
+
+WIDTH = 8
+
+
+def wide_query(width=WIDTH, chain=4):
+    """`width` independent branches (one per technique x fs x result
+    column), each cascading `chain` row-preserving operator stages on
+    a ~50k-row vector before reducing — effective DAG parallelism is
+    `width`."""
+    elements = []
+    tops = []
+    combos = [(t, f, col)
+              for t in ("listbased", "listless")
+              for f in ("ufs", "nfs")
+              for col in ("v1", "v2")][:width]
+    for i, (technique, fs, column) in enumerate(combos):
+        elements.append(Source(f"s{i}", parameters=[
+            ParameterSpec("technique", technique, show=False),
+            ParameterSpec("fs", fs, show=False),
+            ParameterSpec("g")],
+            results=[column, "v3"]))
+        last = f"s{i}"
+        for k in range(chain):
+            kind = "scale" if k % 2 == 0 else "offset"
+            kwargs = ({"factor": 1.0001} if kind == "scale"
+                      else {"summand": 0.0001})
+            elements.append(Operator(f"c{i}_{k}", kind, [last],
+                                     **kwargs))
+            last = f"c{i}_{k}"
+        elements.append(Operator(f"top{i}", "max", [last]))
+        tops.append(f"top{i}")
+    elements.append(Operator("overall", "max", tops))
+    elements.append(Output("o", ["overall"], format="csv"))
+    return Query(elements, name="fig3_wide")
+
+
+@pytest.fixture(scope="module")
+def serial_profile(parallel_experiment):
+    """Profiled serial run supplying per-element durations."""
+    query = wide_query()
+    result = query.execute(parallel_experiment, profile=True)
+    return query, result
+
+
+class TestFig3Parallel:
+    def test_serial_baseline(self, benchmark, parallel_experiment):
+        result = benchmark.pedantic(
+            lambda: wide_query().execute(parallel_experiment),
+            rounds=3, iterations=1)
+        assert result.artifacts
+
+    @pytest.mark.parametrize("n_nodes", [2, 4])
+    def test_executor_overhead_and_correctness(
+            self, benchmark, parallel_experiment, n_nodes):
+        serial = wide_query().execute(parallel_experiment)
+
+        def run():
+            cluster = SimulatedCluster(n_nodes)
+            executor = ParallelQueryExecutor(cluster, LevelScheduler())
+            out = executor.execute(wide_query(), parallel_experiment)
+            cluster.shutdown()
+            return out
+
+        result, stats = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert [a.content for a in result.artifacts] == \
+            [a.content for a in serial.artifacts]
+        benchmark.extra_info["n_nodes"] = n_nodes
+        benchmark.extra_info["transfers"] = stats.transfers
+
+    def test_simulated_speedup_curve(self, benchmark, serial_profile):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        query, result = serial_profile
+        curve = speedup_curve(query.graph, result.profile,
+                              [1, 2, 4, 8, 16])
+        lines = [f"Fig. 3 — simulated parallel execution "
+                 f"(width-{WIDTH} DAG, level scheduler, high-speed "
+                 "interconnect):",
+                 f"{'nodes':>5} {'makespan [ms]':>14} {'speedup':>8} "
+                 f"{'efficiency':>11} {'transfers':>10}"]
+        for n, sim in curve.items():
+            lines.append(
+                f"{n:>5} {sim.makespan_seconds * 1e3:>14.2f} "
+                f"{sim.speedup:>8.2f} {sim.efficiency:>11.2f} "
+                f"{sim.transfers:>10}")
+        lines.append("")
+        lines.append(f"DAG width (effective parallelism): "
+                     f"{query.graph.width()}")
+        report("fig3_parallel_query", "\n".join(lines) + "\n")
+
+        # the paper's shape: speedup grows, then saturates at the
+        # effective degree of parallelism
+        assert curve[2].speedup > 1.5
+        assert curve[4].speedup > curve[2].speedup
+        assert curve[8].speedup > curve[4].speedup
+        # beyond the DAG width more nodes buy (almost) nothing
+        saturation = curve[16].speedup / curve[8].speedup
+        assert saturation < 1.15
+
+    def test_scheduler_ablation(self, benchmark, serial_profile):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        query, result = serial_profile
+        lines = ["scheduler ablation (simulated, 4 nodes):",
+                 f"{'scheduler':>12} {'makespan [ms]':>14} "
+                 f"{'transfers':>10}"]
+        sims = {}
+        for scheduler in (RoundRobinScheduler(), LevelScheduler(),
+                          LocalityScheduler()):
+            placement = scheduler.place(query.graph, 4)
+            sim = simulate_schedule(query.graph, result.profile,
+                                    placement, 4, HIGH_SPEED)
+            sims[scheduler.name] = sim
+            lines.append(
+                f"{scheduler.name:>12} "
+                f"{sim.makespan_seconds * 1e3:>14.2f} "
+                f"{sim.transfers:>10}")
+        report("fig3_scheduler_ablation", "\n".join(lines) + "\n")
+        assert (sims["locality"].transfers
+                <= sims["round-robin"].transfers)
+        assert (sims["level"].makespan_seconds
+                <= sims["round-robin"].makespan_seconds * 1.05)
+
+    def test_interconnect_ablation(self, benchmark, serial_profile):
+        """How much the interconnect matters (Section 4.3 suggests a
+        'high-speed interconnection network'): sweep the three models
+        on 4 nodes."""
+        from repro.parallel import ETHERNET_1G, INFINITE
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        query, result = serial_profile
+        placement = LevelScheduler().place(query.graph, 4)
+        lines = ["interconnect ablation (simulated, 4 nodes):",
+                 f"{'model':>12} {'makespan [ms]':>14} "
+                 f"{'xfer time [ms]':>15}"]
+        sims = {}
+        for label, model in (("infinite", INFINITE),
+                             ("high-speed", HIGH_SPEED),
+                             ("gigabit", ETHERNET_1G)):
+            sim = simulate_schedule(query.graph, result.profile,
+                                    placement, 4, model)
+            sims[label] = sim
+            lines.append(f"{label:>12} "
+                         f"{sim.makespan_seconds * 1e3:>14.2f} "
+                         f"{sim.transfer_seconds * 1e3:>15.3f}")
+        report("fig3_interconnect_ablation", "\n".join(lines) + "\n")
+        assert (sims["infinite"].makespan_seconds
+                <= sims["high-speed"].makespan_seconds
+                <= sims["gigabit"].makespan_seconds)

@@ -1,0 +1,84 @@
+"""E4 (Fig. 4): the b_eff_io output file — generation and import.
+
+Regenerates the Fig. 4 file format from the simulator, times the full
+parse/import of one file through the Fig. 6 input description, and
+verifies the round trip (every header value, every table row)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Experiment, MemoryServer
+from repro.parse import Importer
+from repro.workloads.beffio import (BeffIOConfig, BeffIOSimulator,
+                                    CHUNK_SIZES)
+from repro.workloads.beffio_assets import experiment_xml, input_xml
+from repro.xmlio import parse_experiment_xml, parse_input_xml
+from _helpers import report
+
+
+@pytest.fixture(scope="module")
+def one_output():
+    return BeffIOSimulator(BeffIOConfig(seed=11)).generate()
+
+
+class TestFig4:
+    def test_generate_file(self, benchmark):
+        text = benchmark(
+            lambda: BeffIOSimulator(BeffIOConfig(seed=11)).generate())
+        assert "Summary of file I/O bandwidth" in text
+        benchmark.extra_info["bytes"] = len(text)
+
+    def test_import_one_file(self, benchmark, one_output):
+        definition = parse_experiment_xml(experiment_xml())
+        description = parse_input_xml(input_xml())
+
+        def import_once():
+            server = MemoryServer()
+            exp = Experiment.create(server, "fig4",
+                                    list(definition.variables))
+            imp = Importer(exp, description)
+            imp.import_text(one_output,
+                            BeffIOConfig(seed=11).filename)
+            return exp
+
+        exp = benchmark(import_once)
+        run = exp.load_run(1)
+        assert len(run.datasets) == 24
+        benchmark.extra_info["datasets"] = len(run.datasets)
+        benchmark.extra_info["once_values"] = len(run.once)
+
+    def test_roundtrip_fidelity_and_report(self, benchmark,
+                                           one_output):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        definition = parse_experiment_xml(experiment_xml())
+        server = MemoryServer()
+        exp = Experiment.create(server, "fig4",
+                                list(definition.variables))
+        Importer(exp, parse_input_xml(input_xml())).import_text(
+            one_output, BeffIOConfig(seed=11).filename)
+        run = exp.load_run(1)
+        # every bandwidth cell in the file must equal the stored value
+        table_lines = [l for l in one_output.splitlines()
+                       if "PEs" in l and "total" not in l
+                       and l.split()[2].isdigit()]
+        assert len(table_lines) == 24
+        checked = 0
+        for line in table_lines:
+            fields = line.split()
+            chunk, access = int(fields[3]), fields[4]
+            ds = next(d for d in run.datasets
+                      if d["S_chunk"] == chunk
+                      and d["access"] == access)
+            for off, col in enumerate(("B_scatter", "B_shared",
+                                       "B_separate", "B_segmented",
+                                       "B_segcoll")):
+                assert ds[col] == pytest.approx(float(fields[5 + off]))
+                checked += 1
+        report("fig4_beffio_import",
+               f"Fig. 4 file: {len(one_output)} bytes, "
+               f"{len(table_lines)} table rows\n"
+               f"round-trip verified: {checked} bandwidth cells, "
+               f"{len(run.once)} once-values\n"
+               f"chunk sizes: {sorted(set(CHUNK_SIZES))}\n")
+        assert checked == 120

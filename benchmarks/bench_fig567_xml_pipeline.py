@@ -1,0 +1,68 @@
+"""E5 (Figs. 5-7): the three XML control files, parsed and executed.
+
+Times parsing of each control-file kind and the end-to-end XML-driven
+pipeline (definition -> setup, description -> import, specification ->
+query) exactly as the paper's workflow prescribes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Experiment, MemoryServer
+from repro.parse import Importer
+from repro.workloads.beffio_assets import (experiment_xml,
+                                           fig8_query_xml, input_xml,
+                                           stddev_query_xml)
+from repro.xmlio import (parse_experiment_xml, parse_input_xml,
+                         parse_query_xml)
+from _helpers import report
+
+
+class TestFig5ExperimentDefinition:
+    def test_parse(self, benchmark):
+        definition = benchmark(
+            lambda: parse_experiment_xml(experiment_xml()))
+        assert definition.name == "b_eff_io"
+        benchmark.extra_info["n_variables"] = len(definition.variables)
+
+
+class TestFig6InputDescription:
+    def test_parse(self, benchmark):
+        description = benchmark(lambda: parse_input_xml(input_xml()))
+        assert len(description.locations) == 12
+
+
+class TestFig7QuerySpecification:
+    def test_parse(self, benchmark):
+        query = benchmark(lambda: parse_query_xml(fig8_query_xml()))
+        assert len(query.elements) == 8
+
+
+class TestEndToEndPipeline:
+    def test_full_xml_workflow(self, benchmark, campaign):
+        """setup + import 40 files + stddev check + fig8 query, all
+        driven by the XML control files."""
+        def pipeline():
+            definition = parse_experiment_xml(experiment_xml())
+            server = MemoryServer()
+            exp = Experiment.create(server, definition.name,
+                                    list(definition.variables),
+                                    definition.info)
+            importer = Importer(exp, parse_input_xml(input_xml()))
+            for fname, content in campaign:
+                importer.import_text(content, fname)
+            check = parse_query_xml(stddev_query_xml()).execute(exp)
+            fig8 = parse_query_xml(fig8_query_xml()).execute(exp)
+            return exp, check, fig8
+
+        exp, check, fig8 = benchmark.pedantic(pipeline, rounds=3,
+                                              iterations=1)
+        assert exp.n_runs() == len(campaign)
+        benchmark.extra_info["n_files"] = len(campaign)
+        report("fig567_xml_pipeline",
+               f"XML-driven pipeline: {len(campaign)} files -> "
+               f"{exp.n_runs()} runs\n"
+               "stddev check artefacts: "
+               f"{[a.name for a in check.artifacts]}\n"
+               "fig8 artefacts: "
+               f"{[a.name for a in fig8.artifacts]}\n")

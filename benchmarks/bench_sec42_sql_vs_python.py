@@ -1,0 +1,82 @@
+"""E8 (Section 4.2 claim): "This allows to use SQL database
+functionality for many of the operators, which results in better
+performance than to process the data within a Python script."
+
+Times the data-set-aggregation operator with SQL-side execution versus
+the pure-Python reference path over growing row counts and reports the
+speedup.  The expected shape: SQL wins at non-trivial row counts and
+the gap widens with data size."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Experiment, MemoryServer
+from repro.core import Parameter, Result, RunData
+from repro.query import (Operator, Output, ParameterSpec, Query, Source)
+from _helpers import report
+
+
+def make_experiment(n_rows):
+    server = MemoryServer()
+    exp = Experiment.create(server, "agg", [
+        Parameter("g1", datatype="integer", occurrence="multiple"),
+        Parameter("g2", datatype="integer", occurrence="multiple"),
+        Result("v", datatype="float", occurrence="multiple"),
+    ])
+    datasets = [{"g1": i % 10, "g2": (i // 10) % 10,
+                 "v": float(i % 97) * 1.5}
+                for i in range(n_rows)]
+    exp.store_run(RunData(datasets=datasets))
+    return exp
+
+
+def agg_query(use_sql):
+    return Query([
+        Source("s", parameters=[ParameterSpec("g1"),
+                                ParameterSpec("g2")], results=["v"]),
+        Operator("agg", "avg", ["s"], use_sql=use_sql),
+        Operator("sd", "stddev", ["s"], use_sql=use_sql),
+        Output("o", ["agg"], format="csv"),
+    ], name="agg")
+
+
+def time_path(exp, use_sql, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        agg_query(use_sql).execute(exp)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestSqlVsPython:
+    @pytest.mark.parametrize("use_sql", [True, False],
+                             ids=["sql", "python"])
+    def test_aggregation_50k(self, benchmark, use_sql):
+        exp = make_experiment(50_000)
+        benchmark(lambda: agg_query(use_sql).execute(exp))
+        benchmark.extra_info["rows"] = 50_000
+        benchmark.extra_info["path"] = "sql" if use_sql else "python"
+
+    def test_report_speedup_curve(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        lines = ["Section 4.2 — SQL-side vs in-Python operators "
+                 "(avg+stddev aggregation, best of 5):",
+                 f"{'rows':>8} {'sql [ms]':>10} {'python [ms]':>12} "
+                 f"{'speedup':>8}"]
+        speedups = {}
+        for n_rows in (1_000, 10_000, 50_000, 100_000):
+            exp = make_experiment(n_rows)
+            sql_s = time_path(exp, True)
+            py_s = time_path(exp, False)
+            speedups[n_rows] = py_s / sql_s
+            lines.append(f"{n_rows:>8} {sql_s * 1e3:>10.2f} "
+                         f"{py_s * 1e3:>12.2f} "
+                         f"{py_s / sql_s:>8.2f}x")
+        report("sec42_sql_vs_python", "\n".join(lines) + "\n")
+        # the paper's claim: SQL processing beats the Python script
+        assert speedups[50_000] > 1.0
+        assert speedups[100_000] > 1.0

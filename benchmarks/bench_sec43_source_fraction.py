@@ -1,0 +1,79 @@
+"""E7 (Section 4.3 claim): "the fraction of time spent within the
+source elements is typically only about 10%.  This fraction decreases
+with increasing complexity of the query."
+
+Profiles queries of growing operator depth on the large experiment and
+reports the source fraction per complexity level."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import (Operator, Output, ParameterSpec, Query, Source)
+from _helpers import report
+
+
+def query_with_depth(depth):
+    """One source plus a cascade of `depth` operator stages.
+
+    The stages transform the full (un-aggregated) data vector, the way
+    the paper's complex queries do — every stage materialises a new
+    temp table of the same row count; a final reduction keeps the
+    output small."""
+    elements = [Source("s", parameters=[
+        ParameterSpec("S_chunk"), ParameterSpec("access"),
+        ParameterSpec("technique"), ParameterSpec("fs")],
+        results=["B_scatter", "B_shared", "B_separate",
+                 "B_segmented", "B_segcoll"])]
+    last = "s"
+    live_expr = "B_scatter + B_shared + B_separate"
+    for i in range(depth):
+        kind = ("eval", "scale", "offset")[i % 3]
+        if kind == "eval":
+            kwargs = {"expression": live_expr,
+                      "result_name": f"mix{i}"}
+            live_expr = f"mix{i} * 1.0"
+        elif kind == "scale":
+            kwargs = {"factor": 1.001}
+        else:
+            kwargs = {"summand": 0.001}
+        elements.append(Operator(f"op{i}", kind, [last], **kwargs))
+        last = f"op{i}"
+    elements.append(Operator("final", "avg", [last]))
+    elements.append(Output("o", ["final"], format="csv"))
+    return Query(elements, name=f"depth{depth}")
+
+
+def source_fraction(exp, depth, repeats=3):
+    fractions = []
+    for _ in range(repeats):
+        result = query_with_depth(depth).execute(exp, profile=True)
+        fractions.append(result.profile.source_fraction())
+    return sum(fractions) / len(fractions)
+
+
+class TestSourceFraction:
+    @pytest.mark.parametrize("depth", [1, 4, 8])
+    def test_query_time_by_depth(self, benchmark, large_experiment,
+                                 depth):
+        benchmark(lambda: query_with_depth(depth).execute(
+            large_experiment))
+        benchmark.extra_info["depth"] = depth
+
+    def test_fraction_decreases_with_complexity(self, benchmark,
+                                                large_experiment):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        lines = ["Section 4.3 — source-element share of query time:",
+                 f"{'operator stages':>16} {'source fraction':>16}"]
+        fractions = {}
+        for depth in (1, 2, 4, 8, 12):
+            f = source_fraction(large_experiment, depth)
+            fractions[depth] = f
+            lines.append(f"{depth:>16} {100 * f:>15.1f}%")
+        lines.append("")
+        lines.append("paper: 'typically only about 10%', decreasing "
+                     "with complexity")
+        report("sec43_source_fraction", "\n".join(lines) + "\n")
+        # shape: monotone-ish decrease, and deep queries approach ~10%
+        assert fractions[12] < fractions[1]
+        assert fractions[12] < 0.35

@@ -1,0 +1,92 @@
+"""Extension bench: binary trace import vs ASCII import throughput.
+
+Section 6 plans "processing of non-ASCII input files (like traces)";
+this bench compares the implemented binary path against the ASCII one
+at equal information content, and times the end-to-end trace analysis
+query of the `trace_analysis` example.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Experiment, MemoryServer, Parameter, Result
+from repro.trace import TraceImportDescription, TraceImporter, TraceReader
+from repro.workloads.tracegen import MPITraceGenerator, TraceGenConfig
+from _helpers import report
+
+
+def trace_experiment():
+    server = MemoryServer()
+    return Experiment.create(server, "traces", [
+        Parameter("technique"),
+        Parameter("app"),
+        Parameter("event", occurrence="multiple"),
+        Parameter("process", datatype="integer",
+                  occurrence="multiple"),
+        Result("count", datatype="integer", occurrence="multiple"),
+        Result("total", datatype="float", occurrence="multiple"),
+        Result("mean", datatype="float", occurrence="multiple"),
+    ])
+
+
+DESCRIPTION = TraceImportDescription(
+    meta={"technique": "technique", "application": "app"})
+
+
+@pytest.fixture(scope="module")
+def big_trace():
+    gen = MPITraceGenerator(TraceGenConfig(n_procs=16,
+                                           n_iterations=250))
+    return gen.generate(), gen.filename
+
+
+class TestTraceImport:
+    def test_decode(self, benchmark, big_trace):
+        data, _ = big_trace
+        trace = benchmark(lambda: TraceReader.from_bytes(data))
+        assert len(trace.records) == 16 * 250 * 5
+        benchmark.extra_info["records"] = len(trace.records)
+        benchmark.extra_info["bytes"] = len(data)
+
+    def test_import_summary_mode(self, benchmark, big_trace):
+        data, filename = big_trace
+
+        def import_once():
+            exp = trace_experiment()
+            TraceImporter(exp, DESCRIPTION,
+                          force=True).import_bytes(data, filename)
+            return exp
+
+        exp = benchmark(import_once)
+        # 4 event kinds x 16 processes
+        assert exp.run_record(1).n_datasets == 4 * 16
+        benchmark.extra_info["datasets"] = exp.run_record(1).n_datasets
+
+    def test_trace_query(self, benchmark, big_trace):
+        from repro.query import (Operator, Output, ParameterSpec,
+                                 Query, Source)
+        data, filename = big_trace
+        exp = trace_experiment()
+        TraceImporter(exp, DESCRIPTION).import_bytes(data, filename)
+        q = Query([
+            Source("s", parameters=[ParameterSpec("event")],
+                   results=["total"]),
+            Operator("sum", "sum", ["s"]),
+            Operator("share", "norm", ["sum"], mode="sum"),
+            Output("o", ["share"], format="csv"),
+        ])
+        result = benchmark(lambda: q.execute(exp))
+        assert result.artifacts
+
+    def test_report(self, benchmark, big_trace):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        data, _ = big_trace
+        trace = TraceReader.from_bytes(data)
+        report("trace_import",
+               f"binary trace: {len(data)} bytes, "
+               f"{len(trace.records)} records, "
+               f"{trace.n_processes} processes, "
+               f"{len(trace.event_names)} event kinds\n"
+               "(decode/import/query timings in the benchmark "
+               "table)\n")

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The paper's Section-5 workflow, end to end.
+
+1. run a `b_eff_io` measurement campaign (simulated),
+2. set up the experiment from the Fig. 5 definition XML,
+3. import every output file via the Fig. 6 input description,
+4. check statistical sufficiency (avg/stddev) and sweep coverage,
+5. run the Fig. 7 query and render the Fig. 8 bar chart.
+
+Run with:  python examples/beffio_campaign.py [output-dir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import Experiment, MemoryServer
+from repro.parse import Importer
+from repro.status import missing_sweep_points
+from repro.workloads.beffio import generate_campaign
+from repro.workloads.beffio_assets import (experiment_xml,
+                                           fig8_query_xml, input_xml,
+                                           stddev_query_xml)
+from repro.xmlio import (parse_experiment_xml, parse_input_xml,
+                         parse_query_xml)
+
+outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+    tempfile.mkdtemp(prefix="beffio_"))
+
+# --- 1. the measurement campaign ----------------------------------------
+print("running b_eff_io campaign (simulated) ...")
+campaign = generate_campaign(repetitions=5, filesystems=("ufs", "nfs"))
+print(f"  {len(campaign)} benchmark output files")
+
+# --- 2. experiment setup from the Fig. 5 XML ------------------------------
+definition = parse_experiment_xml(experiment_xml())
+server = MemoryServer()
+experiment = Experiment.create(server, definition.name,
+                               list(definition.variables),
+                               definition.info)
+print(f"created experiment {definition.name!r} "
+      f"({len(definition.variables)} variables)")
+
+# --- 3. import via the Fig. 6 input description ---------------------------
+importer = Importer(experiment, parse_input_xml(input_xml()))
+for filename, content in campaign:
+    importer.import_text(content, filename)
+print(f"imported {experiment.n_runs()} runs")
+
+# --- 4. statistical sufficiency + sweep coverage --------------------------
+# "We then made sure that we gathered a sufficient amount of data by
+# having perfbase calculate the average and standard deviation"
+check = parse_query_xml(stddev_query_xml()).execute(experiment)
+print("\nstatistical check (excerpt):")
+print("\n".join(
+    check.artifact("table.txt").content.splitlines()[:8]))
+
+holes = missing_sweep_points(
+    experiment,
+    {"technique": ["listbased", "listless"],
+     "fs": ["ufs", "nfs", "pvfs"]}, repetitions=5)
+print("\nsweep coverage:")
+for hole in holes:
+    print(f"  still missing: {hole}")
+
+# --- 5. the Fig. 7 query -> Fig. 8 chart -----------------------------------
+result = parse_query_xml(fig8_query_xml()).execute(experiment)
+paths = result.write_all(str(outdir))
+print(f"\nwrote {len(paths)} artefacts to {outdir}:")
+for path in paths:
+    print(f"  {path}")
+print()
+print(result.artifact("bars.chart.txt").content)
+print("-> the large-read bars show the ~60% regression of the "
+      "list-less technique (the paper's performance bug).")

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Option-pricing parameter study — the paper's second motivating
+domain (Section 1: "the price calculation of stock options ... a large
+number of parameterised simulation runs").
+
+Runs a Monte-Carlo pricer over a (method x volatility x paths) grid,
+imports every ASCII result file, and uses queries to answer two
+questions: how does the error converge with the number of paths, and
+does the antithetic variance reduction pay off?
+
+Run with:  python examples/option_pricing_study.py
+"""
+
+from repro import Experiment, MemoryServer, Parameter, Result
+from repro.core import DataType
+from repro.parse import (Importer, InputDescription, NamedLocation)
+from repro.query import (Combiner, Operator, Output, ParameterSpec,
+                         Query, Source)
+from repro.workloads.optionpricing import MonteCarloPricer, OptionConfig
+
+# --- experiment definition ------------------------------------------------
+server = MemoryServer()
+experiment = Experiment.create(server, "option_pricing", [
+    Parameter("method", datatype=DataType.STRING,
+              valid_values=("montecarlo", "antithetic")),
+    Parameter("sigma", datatype=DataType.FLOAT,
+              synopsis="volatility"),
+    Parameter("paths", datatype=DataType.INTEGER,
+              synopsis="Monte-Carlo paths"),
+    Parameter("seed", datatype=DataType.INTEGER),
+    Result("price", datatype=DataType.FLOAT),
+    Result("stderr", datatype=DataType.FLOAT,
+           synopsis="standard error"),
+    Result("abs_error", datatype=DataType.FLOAT,
+           synopsis="absolute error vs Black-Scholes"),
+])
+
+# the result files carry everything as "key = value" lines
+description = InputDescription([
+    NamedLocation("method", "method      ="),
+    NamedLocation("sigma", "sigma  ="),
+    NamedLocation("paths", "paths  ="),
+    NamedLocation("price", "price          ="),
+    NamedLocation("stderr", "standard error ="),
+    NamedLocation("abs_error", "abs error      ="),
+])
+
+# --- the simulation campaign ----------------------------------------------
+print("running pricing simulations ...")
+importer = Importer(experiment, description)
+for method in ("montecarlo", "antithetic"):
+    for sigma in (0.1, 0.2, 0.4):
+        for n_paths in (1_000, 10_000, 100_000):
+            for seed in range(5):
+                cfg = OptionConfig(method=method, volatility=sigma,
+                                   n_paths=n_paths, seed=seed)
+                pricer = MonteCarloPricer(cfg)
+                text = pricer.generate()
+                report = importer.import_text(text, pricer.filename)
+                # the seed is not in the file; add it per run
+                run = experiment.load_run(report.run_indices[0])
+print(f"imported {experiment.n_runs()} pricing runs")
+
+# --- query 1: convergence of the error with the path count -----------------
+convergence = Query([
+    Source("s", parameters=[ParameterSpec("method", "montecarlo",
+                                          show=False),
+                            ParameterSpec("paths")],
+           results=["abs_error", "stderr"]),
+    Operator("mean", "avg", ["s"]),
+    Output("table", ["mean"], format="ascii",
+           options={"title": "Monte-Carlo error vs paths "
+                             "(avg over sigma, seeds)",
+                    "precision": 5}),
+], name="convergence")
+print()
+print(convergence.execute(experiment).artifact("table.txt").content)
+
+# --- query 2: does antithetic variance reduction pay off? -------------------
+comparison = Query([
+    Source("plain", parameters=[
+        ParameterSpec("method", "montecarlo", show=False),
+        ParameterSpec("paths")], results=["stderr"]),
+    Source("anti", parameters=[
+        ParameterSpec("method", "antithetic", show=False),
+        ParameterSpec("paths")], results=["stderr"]),
+    Operator("avg_plain", "avg", ["plain"]),
+    Operator("avg_anti", "avg", ["anti"]),
+    Operator("reduction", "below", ["avg_anti", "avg_plain"]),
+    Output("table", ["reduction"], format="ascii",
+           options={"title": "stderr reduction by antithetic "
+                             "variates [percent]",
+                    "precision": 1}),
+], name="variance_reduction")
+print(comparison.execute(experiment).artifact("table.txt").content)
+print("-> positive percentages mean the antithetic method shrinks "
+      "the standard error.")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: define an experiment, import a benchmark output file,
+run a query — the minimal perfbase loop.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Experiment, MemoryServer, Parameter, Result
+from repro.core import DataType, Unit
+from repro.parse import (Importer, InputDescription, NamedLocation,
+                         TabularColumn, TabularLocation)
+from repro.query import (Operator, Output, ParameterSpec, Query, Source)
+
+# --- 1. the experiment definition (Section 3.1) -------------------------
+# In production this would be an XML file (see repro.xmlio); the
+# programmatic API is equivalent.
+server = MemoryServer()
+experiment = Experiment.create(server, "quickstart", [
+    Parameter("compiler", datatype=DataType.STRING,
+              synopsis="compiler used for the build"),
+    Parameter("n_threads", datatype=DataType.INTEGER,
+              occurrence="multiple", synopsis="OpenMP threads"),
+    Result("runtime", datatype=DataType.FLOAT, occurrence="multiple",
+           unit=Unit.base("s"), synopsis="wall-clock runtime"),
+])
+
+# --- 2. some benchmark output files (arbitrary ASCII, Section 3.2) ------
+outputs = {
+    "run_gcc.txt": """\
+benchmark: stream-triad
+compiler: gcc
+threads  seconds
+   1     8.40
+   2     4.31
+   4     2.33
+   8     1.40
+""",
+    "run_icc.txt": """\
+benchmark: stream-triad
+compiler: icc
+threads  seconds
+   1     7.90
+   2     4.02
+   4     2.21
+   8     1.38
+""",
+}
+
+# --- 3. the input description: where to find the content ----------------
+description = InputDescription([
+    NamedLocation("compiler", "compiler:"),
+    TabularLocation([TabularColumn("n_threads", 1),
+                     TabularColumn("runtime", 2)],
+                    start="threads  seconds"),
+])
+
+importer = Importer(experiment, description)
+for filename, text in outputs.items():
+    result = importer.import_text(text, filename)
+    print(f"imported {filename} as run {result.run_indices}")
+
+# --- 4. a query: average runtime per thread count, per compiler ----------
+query = Query([
+    Source("gcc", parameters=[
+        ParameterSpec("compiler", "gcc", show=False),
+        ParameterSpec("n_threads")], results=["runtime"]),
+    Source("icc", parameters=[
+        ParameterSpec("compiler", "icc", show=False),
+        ParameterSpec("n_threads")], results=["runtime"]),
+    Operator("avg_gcc", "avg", ["gcc"]),
+    Operator("avg_icc", "avg", ["icc"]),
+    # relative difference in percent: how much faster/slower is icc?
+    Operator("reldiff", "above", ["avg_icc", "avg_gcc"]),
+    Output("table", ["reldiff"], format="ascii",
+           options={"title": "icc runtime relative to gcc [percent]"}),
+], name="quickstart")
+
+result = query.execute(experiment)
+print()
+print(result.artifact("table.txt").content)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Binary trace analysis — the paper's Section-6 outlook
+("processing of non-ASCII input files (like traces)"), implemented.
+
+A traced MPI application (binary PBT1 event traces) is imported in
+summary mode, and the usual query machinery answers where the time
+goes per technique — connecting the trace view to the same list-based
+vs list-less finding as the ASCII `b_eff_io` files.
+
+Run with:  python examples/trace_analysis.py
+"""
+
+from repro import Experiment, MemoryServer, Parameter, Result
+from repro.core import DataType, Unit
+from repro.query import (Operator, Output, ParameterSpec, Query, Source)
+from repro.trace import TraceImportDescription, TraceImporter
+from repro.workloads.tracegen import MPITraceGenerator, TraceGenConfig
+
+# --- experiment for per-event summaries ----------------------------------
+server = MemoryServer()
+experiment = Experiment.create(server, "mpi_traces", [
+    Parameter("technique", datatype=DataType.STRING),
+    Parameter("app", datatype=DataType.STRING),
+    Parameter("event", datatype=DataType.STRING,
+              occurrence="multiple", synopsis="event kind"),
+    Parameter("process", datatype=DataType.INTEGER,
+              occurrence="multiple"),
+    Result("count", datatype=DataType.INTEGER, occurrence="multiple",
+           unit=Unit.base("event")),
+    Result("total", datatype=DataType.FLOAT, occurrence="multiple",
+           unit=Unit.base("s"), synopsis="accumulated time"),
+    Result("mean", datatype=DataType.FLOAT, occurrence="multiple",
+           unit=Unit.base("s"), synopsis="mean duration"),
+])
+
+description = TraceImportDescription(
+    meta={"technique": "technique", "application": "app"})
+importer = TraceImporter(experiment, description)
+
+print("generating and importing traces ...")
+for technique in ("listbased", "listless"):
+    for seed in range(4):
+        generator = MPITraceGenerator(TraceGenConfig(
+            n_procs=8, n_iterations=40, technique=technique,
+            seed=seed))
+        report = importer.import_bytes(generator.generate(),
+                                       generator.filename)
+print(f"imported {experiment.n_runs()} trace runs")
+
+# --- where does the time go? ------------------------------------------------
+profile = Query([
+    Source("s", parameters=[
+        ParameterSpec("technique", "listless", show=False),
+        ParameterSpec("event")], results=["total"]),
+    Operator("sum", "sum", ["s"]),
+    Operator("share", "norm", ["sum"], mode="sum"),
+    Operator("pct", "scale", ["share"], factor=100.0),
+    Output("table", ["pct"], format="ascii",
+           options={"title": "time share per event kind "
+                             "(listless) [percent]",
+                    "precision": 1}),
+], name="time_profile")
+print()
+print(profile.execute(experiment).artifact("table.txt").content)
+
+# --- technique comparison on the I/O event ------------------------------------
+comparison = Query([
+    Source("old", parameters=[
+        ParameterSpec("technique", "listbased", show=False),
+        ParameterSpec("event", "MPI_File_write", show=False),
+        ParameterSpec("process")], results=["mean"]),
+    Source("new", parameters=[
+        ParameterSpec("technique", "listless", show=False),
+        ParameterSpec("event", "MPI_File_write", show=False),
+        ParameterSpec("process")], results=["mean"]),
+    Operator("avg_old", "avg", ["old"]),
+    Operator("avg_new", "avg", ["new"]),
+    Operator("slowdown", "above", ["avg_new", "avg_old"]),
+    Output("chart", ["slowdown"], format="barchart",
+           options={"title": "MPI_File_write slowdown of listless "
+                             "per process [percent]",
+                    "width": 40}),
+], name="io_comparison")
+result = comparison.execute(experiment)
+print(result.artifact("chart.chart.txt").content)
+print("-> the binary traces tell the same story as the ASCII "
+      "b_eff_io files: the list-less technique's I/O path regressed.")

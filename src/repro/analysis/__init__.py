@@ -1,0 +1,9 @@
+"""Automatic result analysis (paper Section 6 future work, implemented):
+outlier detection and deviation-from-history regression flagging."""
+
+from .anomalies import (Regression, Suspicion, run_regressions,
+                        suspicious_datasets)
+from .outliers import METHODS, outlier_mask
+
+__all__ = ["Regression", "Suspicion", "run_regressions",
+           "suspicious_datasets", "METHODS", "outlier_mask"]

@@ -1,0 +1,184 @@
+"""Automatic result analysis: suspicious values and regressions.
+
+Section 6 lists as planned work "the capability to analyse results
+automatically and only show suspicious or unusual results or deviations
+from previous runs".  Two analyses are provided:
+
+* :func:`suspicious_datasets` — within one experiment, flag data-set
+  values of a result that are outliers against their parameter group
+  (e.g. a transient I/O glitch in one repetition);
+* :func:`run_regressions` — compare each run's values against the
+  *preceding* runs of the same configuration and flag significant
+  drops/jumps — the "deviations from previous runs" tracking that makes
+  perfbase useful over "a longer period of time or multiple software
+  and hardware revisions" (Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..core.errors import DefinitionError
+from ..core.experiment import Experiment
+from ..core.variables import Occurrence
+from .outliers import outlier_mask
+
+__all__ = ["Suspicion", "Regression", "suspicious_datasets",
+           "run_regressions"]
+
+
+@dataclass(frozen=True)
+class Suspicion:
+    """One flagged data-set value."""
+
+    run_index: int
+    group: tuple[tuple[str, Any], ...]
+    result: str
+    value: float
+    group_mean: float
+    group_std: float
+
+    def __str__(self) -> str:
+        settings = ", ".join(f"{k}={v}" for k, v in self.group)
+        return (f"run {self.run_index} [{settings}]: {self.result}="
+                f"{self.value:.3f} vs group {self.group_mean:.3f}"
+                f"±{self.group_std:.3f}")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """A run deviating from the history of its configuration."""
+
+    run_index: int
+    config: tuple[tuple[str, Any], ...]
+    result: str
+    value: float
+    history_mean: float
+    history_std: float
+    relative_change: float
+
+    @property
+    def is_drop(self) -> bool:
+        return self.relative_change < 0
+
+    def __str__(self) -> str:
+        import math
+        settings = ", ".join(f"{k}={v}" for k, v in self.config)
+        direction = "drop" if self.is_drop else "jump"
+        if math.isinf(self.relative_change):
+            change = "from zero history"
+        else:
+            change = f"of {100 * abs(self.relative_change):.1f}%"
+        return (f"run {self.run_index} [{settings}]: {self.result} "
+                f"{direction} {change} "
+                f"({self.value:.3f} vs {self.history_mean:.3f})")
+
+
+def _group_key(mapping: dict[str, Any],
+               names: Sequence[str]) -> tuple[tuple[str, Any], ...]:
+    return tuple((n, mapping.get(n)) for n in names)
+
+
+def suspicious_datasets(experiment: Experiment, result: str,
+                        group_by: Sequence[str], *,
+                        method: str = "mad",
+                        threshold: float = 3.5) -> list[Suspicion]:
+    """Outlier data-set values of ``result`` grouped by the given
+    (once- or multiple-occurrence) parameters."""
+    variables = experiment.variables
+    if result not in variables:
+        raise DefinitionError(f"no variable named {result!r}")
+    if variables[result].occurrence is not Occurrence.MULTIPLE:
+        raise DefinitionError(
+            f"{result!r} must be a multiple-occurrence result")
+    groups: dict[tuple, list[tuple[int, float]]] = {}
+    for index in experiment.run_indices():
+        once = experiment.store.load_once(index)
+        for ds in experiment.store.load_datasets(index):
+            if result not in ds:
+                continue
+            merged = {**once, **ds}
+            key = _group_key(merged, group_by)
+            groups.setdefault(key, []).append(
+                (index, float(ds[result])))
+    suspicions: list[Suspicion] = []
+    for key, pairs in groups.items():
+        values = np.array([v for _, v in pairs])
+        mask = outlier_mask(values, method=method, threshold=threshold)
+        if not mask.any():
+            continue
+        mean = float(values.mean())
+        std = float(values.std(ddof=1)) if len(values) > 1 else 0.0
+        for (run_index, value), flagged in zip(pairs, mask):
+            if flagged:
+                suspicions.append(Suspicion(
+                    run_index, key, result, value, mean, std))
+    return suspicions
+
+
+def run_regressions(experiment: Experiment, result: str,
+                    config_by: Sequence[str], *,
+                    min_history: int = 3,
+                    threshold_sigma: float = 3.0,
+                    min_relative_change: float = 0.10,
+                    dataset_filter: "Callable | None" = None
+                    ) -> list[Regression]:
+    """Flag runs whose ``result`` deviates from the preceding runs of
+    the same configuration.
+
+    ``result`` may be once-occurrence (e.g. the headline ``b_eff_io``
+    metric) or multiple-occurrence (per-run mean is used;
+    ``dataset_filter`` optionally restricts which data sets count,
+    e.g. only small-message rows of a latency sweep).  A run is
+    flagged when its value is more than ``threshold_sigma`` standard
+    deviations *and* more than ``min_relative_change`` away from the
+    history mean — both conditions, so neither noisy nor trivially
+    stable histories spam the report.  A jump away from an all-zero
+    history (e.g. the first failing test-suite run) always satisfies
+    the relative criterion.
+    """
+    variables = experiment.variables
+    if result not in variables:
+        raise DefinitionError(f"no variable named {result!r}")
+    multiple = variables[result].occurrence is Occurrence.MULTIPLE
+    history: dict[tuple, list[float]] = {}
+    regressions: list[Regression] = []
+    for index in experiment.run_indices():  # chronological order
+        once = experiment.store.load_once(index)
+        if multiple:
+            values = [float(ds[result])
+                      for ds in experiment.store.load_datasets(index)
+                      if result in ds
+                      and (dataset_filter is None
+                           or dataset_filter(ds))]
+            if not values:
+                continue
+            value = float(np.mean(values))
+        else:
+            if result not in once:
+                continue
+            value = float(once[result])
+        key = _group_key(once, config_by)
+        past = history.setdefault(key, [])
+        if len(past) >= min_history:
+            arr = np.array(past)
+            mean = float(arr.mean())
+            std = float(arr.std(ddof=1))
+            floor = max(std, 1e-12)
+            if mean:
+                rel = (value - mean) / abs(mean)
+            elif value != mean:
+                # any departure from an all-zero history is 'infinitely'
+                # large in relative terms
+                rel = float("inf") if value > mean else float("-inf")
+            else:
+                rel = 0.0
+            if (abs(value - mean) > threshold_sigma * floor
+                    and abs(rel) >= min_relative_change):
+                regressions.append(Regression(
+                    index, key, result, value, mean, std, rel))
+        past.append(value)
+    return regressions

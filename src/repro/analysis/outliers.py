@@ -1,0 +1,71 @@
+"""Outlier detection primitives.
+
+Three standard detectors over a 1-D sample, all returning boolean masks:
+
+* ``zscore`` — |x - mean| / std above threshold (classic, assumes
+  roughly normal data);
+* ``mad`` — modified z-score on the median absolute deviation (robust
+  against the outliers themselves);
+* ``iqr`` — Tukey fences (quartiles ± k * IQR).
+
+These are deliberately simple, dependency-light statistics: the goal is
+the paper's "only show suspicious or unusual results", not a full
+anomaly-detection framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import PerfbaseError
+
+__all__ = ["outlier_mask", "METHODS"]
+
+METHODS = ("zscore", "mad", "iqr")
+
+
+def outlier_mask(values, method: str = "mad",
+                 threshold: float = 3.5) -> np.ndarray:
+    """Boolean mask of outliers in ``values``.
+
+    ``threshold`` is the z-score cut for ``zscore``/``mad`` and the
+    fence factor for ``iqr`` (Tukey's classic value is 1.5).
+    NaNs are never flagged.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise PerfbaseError("outlier detection works on 1-D samples")
+    mask = np.zeros(arr.shape, dtype=bool)
+    valid = ~np.isnan(arr)
+    sample = arr[valid]
+    # below 4 points, spread estimates (especially the MAD) are too
+    # unstable to call anything an outlier
+    if sample.size < 4:
+        return mask
+
+    if method == "zscore":
+        std = sample.std(ddof=1)
+        if std == 0:
+            return mask
+        scores = np.abs(arr - sample.mean()) / std
+        mask[valid] = scores[valid] > threshold
+    elif method == "mad":
+        median = np.median(sample)
+        mad = np.median(np.abs(sample - median))
+        if mad == 0:
+            # fall back to mean absolute deviation for spiky data
+            mad = np.mean(np.abs(sample - median))
+            if mad == 0:
+                return mask
+        scores = 0.6745 * np.abs(arr - median) / mad
+        mask[valid] = scores[valid] > threshold
+    elif method == "iqr":
+        q1, q3 = np.percentile(sample, [25, 75])
+        iqr = q3 - q1
+        lo, hi = q1 - threshold * iqr, q3 + threshold * iqr
+        mask[valid] = (arr[valid] < lo) | (arr[valid] > hi)
+    else:
+        raise PerfbaseError(
+            f"unknown outlier method {method!r} "
+            f"(known: {', '.join(METHODS)})")
+    return mask

@@ -1,0 +1,5 @@
+"""perfbase-style command line frontend (paper Section 4)."""
+
+from .main import build_parser, main
+
+__all__ = ["build_parser", "main"]

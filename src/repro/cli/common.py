@@ -1,0 +1,48 @@
+"""Shared plumbing of the perfbase CLI commands."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from ..core.experiment import Experiment
+from ..db.sqlite_backend import SQLiteServer
+
+__all__ = ["add_dbdir_argument", "open_server", "open_experiment",
+           "CommandError"]
+
+#: default database directory, overridable via environment (mirrors the
+#: paper's "personal database server on his local workstation")
+ENV_DBDIR = "PERFBASE_DB_DIR"
+DEFAULT_DBDIR = os.path.join(os.path.expanduser("~"), ".perfbase")
+
+
+class CommandError(Exception):
+    """A user-facing command failure (exits with status 1)."""
+
+
+def add_dbdir_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dbdir", default=os.environ.get(ENV_DBDIR, DEFAULT_DBDIR),
+        help="directory holding the experiment databases "
+             f"(default: ${ENV_DBDIR} or {DEFAULT_DBDIR})")
+
+
+def add_experiment_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-e", "--experiment", required=True,
+        help="name of the experiment")
+
+
+def open_server(args: argparse.Namespace) -> SQLiteServer:
+    return SQLiteServer(args.dbdir)
+
+
+def open_experiment(args: argparse.Namespace) -> Experiment:
+    server = open_server(args)
+    return Experiment.open(server, args.experiment)
+
+
+def echo(message: str = "") -> None:
+    sys.stdout.write(message + "\n")

@@ -1,0 +1,52 @@
+"""perfbase command-line frontend.
+
+Section 4: "perfbase is implemented as a collection of Python scripts,
+launched via a sh script frontend. [...] It is invoked by providing the
+perfbase command (like setup, input or query) plus required arguments
+to the frontend script."  Here the frontend is a console entry point::
+
+    perfbase setup  -d experiment.xml
+    perfbase input  -e b_eff_io -d input.xml results/*.sum
+    perfbase query  -e b_eff_io -q fig8.xml -o plots/
+    perfbase info   -e b_eff_io
+    perfbase runs   -e b_eff_io --where fs=ufs
+    perfbase check  -e b_eff_io -n B_scatter --group access
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.errors import PerfbaseError
+from .commands import register_all
+from .common import CommandError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="perfbase",
+        description="experiment management and analysis "
+                    "(reproduction of Worringen, CLUSTER 2005)")
+    sub = parser.add_subparsers(dest="command", metavar="COMMAND")
+    register_all(sub)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "func", None):
+        parser.print_help()
+        return 2
+    try:
+        return args.func(args)
+    except (PerfbaseError, CommandError, OSError) as exc:
+        sys.stderr.write(f"perfbase: error: {exc}\n")
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

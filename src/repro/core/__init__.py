@@ -1,0 +1,26 @@
+"""Core data model: experiments, variables, runs, units, access control."""
+
+from .access import AccessControl, UserClass
+from .datatypes import DataType, format_content, parse_content
+from .errors import (AccessError, DatabaseError, DataTypeError,
+                     DefinitionError, DuplicateImportError, ExpressionError,
+                     InputError, MissingContentError, NoSuchExperimentError,
+                     NoSuchRunError, OperatorError, PerfbaseError,
+                     QueryError, UnitError, XMLFormatError)
+from .experiment import Experiment, current_user
+from .meta import ExperimentInfo, Person
+from .run import DataSet, RunData, RunRecord
+from .units import DIMENSIONLESS, BaseUnit, Unit
+from .variables import Occurrence, Parameter, Result, Variable, VariableSet
+
+__all__ = [
+    "AccessControl", "UserClass", "DataType", "format_content",
+    "parse_content", "AccessError", "DatabaseError", "DataTypeError",
+    "DefinitionError", "DuplicateImportError", "ExpressionError",
+    "InputError", "MissingContentError", "NoSuchExperimentError",
+    "NoSuchRunError", "OperatorError", "PerfbaseError", "QueryError",
+    "UnitError", "XMLFormatError", "Experiment", "current_user",
+    "ExperimentInfo", "Person", "DataSet", "RunData", "RunRecord",
+    "DIMENSIONLESS", "BaseUnit", "Unit", "Occurrence", "Parameter",
+    "Result", "Variable", "VariableSet",
+]

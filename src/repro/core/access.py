@@ -1,0 +1,98 @@
+"""User classes and access control.
+
+Section 4.2: "multiple users can access the same experiments in a
+protected manner.  This is realised by having different user classes:
+*query users* which can only perform queries on an experiment, *input
+users* which can create new runs by importing data, and *admin users*
+which have full access to the database."
+
+The paper delegates enforcement to PostgreSQL roles; with the SQLite
+substitution the same semantics are enforced at the library layer: every
+mutating entry point checks the acting user's class via
+:class:`AccessControl`.  Access rights can be granted and revoked
+("access rights can be revoked or granted to users", Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import AccessError
+
+__all__ = ["UserClass", "AccessControl"]
+
+
+class UserClass(enum.IntEnum):
+    """Ordered user classes; higher classes imply the lower ones."""
+
+    QUERY = 1   #: may only perform queries
+    INPUT = 2   #: may additionally create runs by importing data
+    ADMIN = 3   #: full access (setup, update, delete)
+
+    @classmethod
+    def from_name(cls, name: str) -> "UserClass":
+        try:
+            return cls[name.strip().upper()]
+        except KeyError:
+            valid = ", ".join(m.name.lower() for m in cls)
+            raise ValueError(
+                f"unknown user class {name!r} (valid: {valid})") from None
+
+
+@dataclass
+class AccessControl:
+    """Per-experiment mapping of user names to user classes.
+
+    The experiment creator is always an admin.  An empty table plus
+    ``open_access`` (the default for personal databases, where the paper
+    expects "a personal database server on his local workstation") lets
+    everyone act as admin.
+    """
+
+    users: dict[str, UserClass] = field(default_factory=dict)
+    open_access: bool = True
+
+    def grant(self, user: str, user_class: UserClass | str) -> None:
+        """Grant ``user`` the given class (replacing any previous one).
+
+        Granting any explicit right switches the experiment out of
+        ``open_access`` mode.
+        """
+        if isinstance(user_class, str):
+            user_class = UserClass.from_name(user_class)
+        self.users[user] = user_class
+        self.open_access = False
+
+    def revoke(self, user: str) -> None:
+        """Remove all rights of ``user``."""
+        self.users.pop(user, None)
+
+    def class_of(self, user: str) -> UserClass | None:
+        if self.open_access:
+            return UserClass.ADMIN
+        return self.users.get(user)
+
+    def check(self, user: str, needed: UserClass, operation: str) -> None:
+        """Raise :class:`AccessError` unless ``user`` holds at least the
+        ``needed`` class."""
+        have = self.class_of(user)
+        if have is None or have < needed:
+            raise AccessError(user, needed.name.lower(), operation)
+
+    def can(self, user: str, needed: UserClass) -> bool:
+        have = self.class_of(user)
+        return have is not None and have >= needed
+
+    # -- (de)serialisation for the meta table -----------------------------
+
+    def as_dict(self) -> dict:
+        return {"open_access": self.open_access,
+                "users": {u: c.name.lower() for u, c in self.users.items()}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AccessControl":
+        ac = cls(open_access=bool(data.get("open_access", True)))
+        for user, name in data.get("users", {}).items():
+            ac.users[user] = UserClass.from_name(name)
+        return ac

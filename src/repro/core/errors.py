@@ -1,0 +1,107 @@
+"""Exception hierarchy for the perfbase reproduction.
+
+Every error raised by the library derives from :class:`PerfbaseError` so
+callers can catch library failures with a single ``except`` clause, while
+the sub-classes allow precise handling of parse, import, query and access
+problems.
+"""
+
+from __future__ import annotations
+
+
+class PerfbaseError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class DefinitionError(PerfbaseError):
+    """An experiment definition is invalid (bad variable, unit, type...)."""
+
+
+class UnitError(DefinitionError):
+    """A unit specification is malformed or two units are incompatible."""
+
+
+class DataTypeError(DefinitionError):
+    """A value cannot be represented in (or parsed as) a declared datatype."""
+
+
+class XMLFormatError(PerfbaseError):
+    """An XML control file does not conform to its perfbase schema."""
+
+    def __init__(self, message: str, *, element: str | None = None,
+                 line: int | None = None):
+        loc = []
+        if element is not None:
+            loc.append(f"element <{element}>")
+        if line is not None:
+            loc.append(f"line {line}")
+        if loc:
+            message = f"{message} ({', '.join(loc)})"
+        super().__init__(message)
+        self.element = element
+        self.line = line
+
+
+class InputError(PerfbaseError):
+    """Data could not be extracted from an input file."""
+
+
+class MissingContentError(InputError):
+    """An input file provides no content for a variable that requires it."""
+
+    def __init__(self, variable: str, source: str = "<input>"):
+        super().__init__(
+            f"no content for variable {variable!r} found in {source}")
+        self.variable = variable
+        self.source = source
+
+
+class DuplicateImportError(InputError):
+    """The same input file was imported before and ``force`` is not set."""
+
+    def __init__(self, filename: str, run_index: int | None = None):
+        msg = f"input file {filename!r} was already imported"
+        if run_index is not None:
+            msg += f" (as run {run_index})"
+        super().__init__(msg)
+        self.filename = filename
+        self.run_index = run_index
+
+
+class QueryError(PerfbaseError):
+    """A query specification is invalid or cannot be executed."""
+
+
+class OperatorError(QueryError):
+    """An operator got input vectors it cannot work on."""
+
+
+class DatabaseError(PerfbaseError):
+    """A storage-backend operation failed."""
+
+
+class ExperimentExistsError(DatabaseError):
+    """An experiment with this name already exists on the server."""
+
+
+class NoSuchExperimentError(DatabaseError):
+    """The named experiment does not exist on the server."""
+
+
+class NoSuchRunError(DatabaseError):
+    """The referenced run index does not exist in the experiment."""
+
+
+class AccessError(PerfbaseError):
+    """The acting user lacks the required access class for an operation."""
+
+    def __init__(self, user: str, needed: str, operation: str):
+        super().__init__(
+            f"user {user!r} needs {needed!r} access for {operation}")
+        self.user = user
+        self.needed = needed
+        self.operation = operation
+
+
+class ExpressionError(PerfbaseError):
+    """An arithmetic expression is malformed or fails to evaluate."""

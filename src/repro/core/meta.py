@@ -1,0 +1,53 @@
+"""Experiment meta information.
+
+Section 3.1: "some meta information on the experiment is required.  This
+includes a description and synopsis, the authors name and affiliation,
+and the users that are allowed to import or query experiment data."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Person:
+    """Author of an experiment (``<performed_by>`` in Fig. 5)."""
+
+    name: str
+    organization: str = ""
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "organization": self.organization}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Person":
+        return cls(name=data.get("name", ""),
+                   organization=data.get("organization", ""))
+
+
+@dataclass
+class ExperimentInfo:
+    """The ``<info>`` block of an experiment definition."""
+
+    performed_by: Person = field(default_factory=lambda: Person(""))
+    project: str = ""
+    synopsis: str = ""
+    description: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "performed_by": self.performed_by.as_dict(),
+            "project": self.project,
+            "synopsis": self.synopsis,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentInfo":
+        return cls(
+            performed_by=Person.from_dict(data.get("performed_by", {})),
+            project=data.get("project", ""),
+            synopsis=data.get("synopsis", ""),
+            description=data.get("description", ""),
+        )

@@ -1,0 +1,314 @@
+"""Unit model for experiment variables.
+
+Fig. 5 of the paper shows the XML unit vocabulary: a unit is either a
+``base_unit`` with an optional SI ``scaling`` prefix, or a ``fraction``
+with a dividend and divisor unit (e.g. ``Mega byte / s`` for a bandwidth).
+The figure's caption notes "Units are defined such that they can be
+converted correctly" — so this module implements dimensional analysis on
+a small set of base dimensions plus value conversion between compatible
+units (e.g. ``KB/s`` ↔ ``MB/s``, ``min`` ↔ ``s``).
+
+Binary prefixes (``Kibi`` … ``Tebi``) are supported next to decimal ones
+because HPC output files mix both (the ``b_eff_io`` header of Fig. 4
+explicitly distinguishes ``1MBytes = 1024*1024 bytes`` from
+``1MB = 1e6 bytes``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .errors import UnitError
+
+__all__ = ["Unit", "BaseUnit", "SCALINGS", "DIMENSIONLESS"]
+
+#: SI and binary scaling prefixes: name -> (symbol, factor)
+SCALINGS: dict[str, tuple[str, float]] = {
+    "Atto": ("a", 1e-18),
+    "Femto": ("f", 1e-15),
+    "Pico": ("p", 1e-12),
+    "Nano": ("n", 1e-9),
+    "Micro": ("u", 1e-6),
+    "Milli": ("m", 1e-3),
+    "Centi": ("c", 1e-2),
+    "": ("", 1.0),
+    "Kilo": ("K", 1e3),
+    "Mega": ("M", 1e6),
+    "Giga": ("G", 1e9),
+    "Tera": ("T", 1e12),
+    "Peta": ("P", 1e15),
+    "Kibi": ("Ki", 2.0 ** 10),
+    "Mebi": ("Mi", 2.0 ** 20),
+    "Gibi": ("Gi", 2.0 ** 30),
+    "Tebi": ("Ti", 2.0 ** 40),
+    "Pebi": ("Pi", 2.0 ** 50),
+}
+
+#: Base units known to the library: name -> (dimension, factor-to-canonical)
+#: The canonical unit of each dimension has factor 1.0.
+_BASE_UNITS: dict[str, tuple[str, float]] = {
+    # information
+    "bit": ("information", 0.125),
+    "byte": ("information", 1.0),
+    "B": ("information", 1.0),
+    # time
+    "s": ("time", 1.0),
+    "second": ("time", 1.0),
+    "min": ("time", 60.0),
+    "h": ("time", 3600.0),
+    # computation
+    "flop": ("computation", 1.0),
+    "op": ("operation", 1.0),
+    # countables — each its own dimension so they never silently convert
+    "process": ("process", 1.0),
+    "node": ("node", 1.0),
+    "thread": ("thread", 1.0),
+    "message": ("message", 1.0),
+    "event": ("event", 1.0),
+    "error": ("error", 1.0),
+    "iteration": ("iteration", 1.0),
+    # physical
+    "m": ("length", 1.0),
+    "W": ("power", 1.0),
+    "J": ("energy", 1.0),
+    "Hz": ("frequency", 1.0),
+    "V": ("voltage", 1.0),
+    "K": ("temperature", 1.0),
+    # money for the option-pricing workload
+    "EUR": ("currency", 1.0),
+    "USD": ("currency", 1.0),
+    # dimensionless helpers
+    "1": ("dimensionless", 1.0),
+    "percent": ("dimensionless", 0.01),
+}
+
+
+@dataclass(frozen=True)
+class BaseUnit:
+    """A scaled base unit, e.g. ``Mega byte``.
+
+    ``name`` must be a known base unit; ``scaling`` one of
+    :data:`SCALINGS` (the empty string means unscaled).
+    """
+
+    name: str
+    scaling: str = ""
+
+    def __post_init__(self):
+        if self.name not in _BASE_UNITS:
+            known = ", ".join(sorted(_BASE_UNITS))
+            raise UnitError(
+                f"unknown base unit {self.name!r} (known: {known})")
+        if self.scaling not in SCALINGS:
+            raise UnitError(f"unknown scaling prefix {self.scaling!r}")
+
+    @property
+    def dimension(self) -> str:
+        return _BASE_UNITS[self.name][0]
+
+    @property
+    def factor(self) -> float:
+        """Multiplier that converts one of *this* unit into the canonical
+        unit of its dimension."""
+        return SCALINGS[self.scaling][1] * _BASE_UNITS[self.name][1]
+
+    @property
+    def symbol(self) -> str:
+        prefix = SCALINGS[self.scaling][0]
+        return f"{prefix}{self.name}"
+
+    def __str__(self) -> str:
+        return self.symbol
+
+
+def _dim_signature(units: Iterable[BaseUnit],
+                   sign: int) -> dict[str, int]:
+    sig: dict[str, int] = {}
+    for u in units:
+        if u.dimension == "dimensionless":
+            continue
+        sig[u.dimension] = sig.get(u.dimension, 0) + sign
+    return {d: e for d, e in sig.items() if e}
+
+
+@dataclass(frozen=True)
+class Unit:
+    """A (possibly compound) unit: product of dividend base units divided
+    by the product of divisor base units.
+
+    A plain unit like ``s`` is represented with a single dividend and no
+    divisors; ``MB/s`` has dividend ``(Mega byte,)`` and divisor ``(s,)``.
+    The empty unit (no dividends, no divisors) is dimensionless.
+    """
+
+    dividend: tuple[BaseUnit, ...] = ()
+    divisor: tuple[BaseUnit, ...] = ()
+
+    # -- construction helpers ------------------------------------------
+
+    @classmethod
+    def base(cls, name: str, scaling: str = "") -> "Unit":
+        """A unit consisting of one scaled base unit."""
+        return cls(dividend=(BaseUnit(name, scaling),))
+
+    @classmethod
+    def fraction(cls, dividend: "Unit | BaseUnit",
+                 divisor: "Unit | BaseUnit") -> "Unit":
+        """Build ``dividend / divisor`` from two units or base units."""
+        top = dividend if isinstance(dividend, Unit) else Unit((dividend,))
+        bot = divisor if isinstance(divisor, Unit) else Unit((divisor,))
+        return top / bot
+
+    @classmethod
+    def parse(cls, text: str) -> "Unit":
+        """Parse a compact textual unit like ``"MB/s"``, ``"Mega byte"``,
+        ``"s"`` or ``""`` (dimensionless).
+
+        Each ``/`` separates a further divisor group; within a group,
+        whitespace or ``*`` separates factors.  A factor may carry a
+        prefix symbol (``M``, ``Ki``...) or a prefix word (``Mega byte``).
+        """
+        text = text.strip()
+        if not text or text == "1":
+            return DIMENSIONLESS
+        groups = [g.strip() for g in text.split("/")]
+        dividend = _parse_group(groups[0])
+        divisor: list[BaseUnit] = []
+        for g in groups[1:]:
+            divisor.extend(_parse_group(g))
+        return cls(tuple(dividend), tuple(divisor))
+
+    # -- algebra --------------------------------------------------------
+
+    def __mul__(self, other: "Unit") -> "Unit":
+        return Unit(self.dividend + other.dividend,
+                    self.divisor + other.divisor)
+
+    def __truediv__(self, other: "Unit") -> "Unit":
+        return Unit(self.dividend + other.divisor,
+                    self.divisor + other.dividend)
+
+    def invert(self) -> "Unit":
+        return Unit(self.divisor, self.dividend)
+
+    # -- semantics ------------------------------------------------------
+
+    @property
+    def dimension(self) -> dict[str, int]:
+        """Dimension signature, e.g. ``{'information': 1, 'time': -1}``
+        for a bandwidth.  Dimensionless units give ``{}``."""
+        sig = _dim_signature(self.dividend, +1)
+        for d, e in _dim_signature(self.divisor, +1).items():
+            sig[d] = sig.get(d, 0) - e
+        return {d: e for d, e in sig.items() if e}
+
+    @property
+    def factor(self) -> float:
+        """Multiplier to the canonical unit of this dimension signature."""
+        f = 1.0
+        for u in self.dividend:
+            f *= u.factor
+        for u in self.divisor:
+            f /= u.factor
+        return f
+
+    def is_compatible(self, other: "Unit") -> bool:
+        """Two units are compatible iff their dimension signatures match;
+        only then can values be converted between them."""
+        return self.dimension == other.dimension
+
+    def conversion_factor(self, target: "Unit") -> float:
+        """Factor ``c`` such that ``value_in_self * c == value_in_target``.
+
+        Raises :class:`UnitError` for incompatible units.
+        """
+        if not self.is_compatible(target):
+            raise UnitError(
+                f"cannot convert {self} to {target}: dimensions "
+                f"{self.dimension} vs {target.dimension}")
+        return self.factor / target.factor
+
+    def convert(self, value: float, target: "Unit") -> float:
+        """Convert a value expressed in this unit to ``target``."""
+        return value * self.conversion_factor(target)
+
+    # -- presentation ----------------------------------------------------
+
+    @property
+    def symbol(self) -> str:
+        """Compact rendering, e.g. ``MB/s`` — used for axis labels."""
+        if not self.dividend and not self.divisor:
+            return ""
+        top = "*".join(u.symbol for u in self.dividend) or "1"
+        if not self.divisor:
+            return top
+        bot = "*".join(u.symbol for u in self.divisor)
+        return f"{top}/{bot}"
+
+    def __str__(self) -> str:
+        return self.symbol
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Unit({self.symbol!r})"
+
+
+#: The dimensionless unit (used for counts, ratios, percentages).
+DIMENSIONLESS = Unit()
+
+_PREFIX_SYMBOLS = {sym: name for name, (sym, _) in SCALINGS.items() if sym}
+
+
+def _parse_group(text: str) -> list[BaseUnit]:
+    """Parse one ``*``/space separated product group of base units."""
+    units: list[BaseUnit] = []
+    tokens = [t for t in text.replace("*", " ").split() if t]
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        # prefix word followed by a base unit: "Mega byte"
+        if tok in SCALINGS and i + 1 < len(tokens):
+            units.append(BaseUnit(tokens[i + 1], tok))
+            i += 2
+            continue
+        units.append(_parse_factor(tok))
+        i += 1
+    return units
+
+
+#: ``b_eff_io`` (Fig. 4) defines "1MBytes = 1024*1024 bytes, 1MB = 1e6
+#: bytes" — so the spelled-out ``<prefix>Bytes`` tokens are binary.
+_BINARY_BYTES = {"KBytes": "Kibi", "MBytes": "Mebi",
+                 "GBytes": "Gibi", "TBytes": "Tebi"}
+
+
+def _parse_factor(token: str) -> BaseUnit:
+    """Parse a single factor such as ``MB``, ``Kibyte``, ``s``."""
+    if token in _BASE_UNITS:
+        return BaseUnit(token)
+    if token in _BINARY_BYTES:
+        return BaseUnit("byte", _BINARY_BYTES[token])
+    # try symbol prefixes, longest first (Ki before K)
+    for sym in sorted(_PREFIX_SYMBOLS, key=len, reverse=True):
+        if token.startswith(sym):
+            rest = token[len(sym):]
+            if rest in _BASE_UNITS:
+                return BaseUnit(rest, _PREFIX_SYMBOLS[sym])
+            # allow pluralised bytes: MBytes, Mbytes
+            if rest.lower() in ("byte", "bytes"):
+                return BaseUnit("byte", _PREFIX_SYMBOLS[sym])
+    if token.lower() in ("byte", "bytes"):
+        return BaseUnit("byte")
+    raise UnitError(f"cannot parse unit token {token!r}")
+
+
+def as_fraction_xml_dict(unit: Unit) -> dict:
+    """Decompose a unit into the nested-dict shape of the XML vocabulary
+    (used by the experiment-definition writer)."""
+    def group(units: tuple[BaseUnit, ...]) -> list[dict]:
+        return [{"base_unit": u.name, "scaling": u.scaling} for u in units]
+
+    if unit.divisor:
+        return {"fraction": {"dividend": group(unit.dividend),
+                             "divisor": group(unit.divisor)}}
+    return {"units": group(unit.dividend)}

@@ -1,0 +1,39 @@
+"""Input-file checksums for the duplicate-import guard.
+
+Section 3.2: "without explicit confirmation, importing data from the
+same input file more than once is not possible."  The guard keys on the
+*content* of the file (SHA-256), so a renamed copy of an already-imported
+file is still refused while a genuinely re-run benchmark writing to the
+same filename is accepted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+__all__ = ["file_checksum", "content_checksum"]
+
+
+def content_checksum(data: bytes | str) -> str:
+    """SHA-256 hex digest of file content."""
+    if isinstance(data, str):
+        data = data.encode("utf-8", errors="replace")
+    return hashlib.sha256(data).hexdigest()
+
+
+def file_checksum(path: str | os.PathLike, *,
+                  missing_ok: bool = False) -> str | None:
+    """Checksum a file on disk.
+
+    With ``missing_ok`` a non-existing path yields ``None`` instead of
+    raising — used when recording synthetic source names that never were
+    files (e.g. programmatic imports).
+    """
+    try:
+        with open(path, "rb") as fh:
+            return content_checksum(fh.read())
+    except OSError:
+        if missing_ok:
+            return None
+        raise

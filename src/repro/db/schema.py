@@ -1,0 +1,441 @@
+"""Experiment database schema and run storage.
+
+Section 4.2 of the paper describes the layout this module implements:
+
+    "Each experiment database has some tables for meta information and
+    one table for parameters and results with a unique occurrence per
+    run.  These tables are created during the initialisation of the
+    experiment.  For each new run, one table is created which contains
+    the tabular data."
+
+Concretely:
+
+``pb_meta``
+    key/value store for experiment name, info block, access control and
+    schema version (JSON-encoded values).
+``pb_variables``
+    one row per variable with its JSON-encoded definition — this makes
+    the experiment-evolution operations of Section 3.1 cheap.
+``pb_runs``
+    one row per run: index, creation timestamp, #datasets, active flag
+    (deleted runs are deactivated, their data table dropped).
+``pb_run_files``
+    which input files (with checksum) fed which run — the basis of the
+    duplicate-import guard ("without explicit confirmation, importing
+    data from the same input file more than once is not possible").
+``pb_once``
+    one column per once-occurrence variable, one row per run.
+``rundata_<index>``
+    per-run table with one column per multiple-occurrence variable and
+    one row per data set.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import threading
+from typing import Any
+
+from ..core.datatypes import DataType, sql_type
+from ..core.errors import (DatabaseError, DefinitionError, NoSuchRunError)
+from ..core.run import RunData, RunRecord
+from ..core.units import BaseUnit, Unit
+from ..core.variables import (Occurrence, Parameter, Result, Variable,
+                              VariableSet)
+from .backend import Database, quote_identifier
+
+__all__ = ["ExperimentStore", "variable_to_json", "variable_from_json",
+           "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+_META = "pb_meta"
+_VARS = "pb_variables"
+_RUNS = "pb_runs"
+_FILES = "pb_run_files"
+_ONCE = "pb_once"
+
+
+def _unit_to_json(unit: Unit) -> dict:
+    return {
+        "dividend": [[u.name, u.scaling] for u in unit.dividend],
+        "divisor": [[u.name, u.scaling] for u in unit.divisor],
+    }
+
+
+def _unit_from_json(data: dict) -> Unit:
+    return Unit(
+        tuple(BaseUnit(n, s) for n, s in data.get("dividend", [])),
+        tuple(BaseUnit(n, s) for n, s in data.get("divisor", [])),
+    )
+
+
+def variable_to_json(var: Variable) -> str:
+    """Serialise a variable definition for the ``pb_variables`` table."""
+    return json.dumps({
+        "name": var.name,
+        "kind": var.kind,
+        "datatype": var.datatype.value,
+        "synopsis": var.synopsis,
+        "description": var.description,
+        "occurrence": var.occurrence.value,
+        "unit": _unit_to_json(var.unit),
+        "valid_values": [_encode_value(v, var.datatype)
+                         for v in var.valid_values],
+        "default": _encode_value(var.default, var.datatype),
+    })
+
+
+def variable_from_json(text: str) -> Variable:
+    """Inverse of :func:`variable_to_json`."""
+    data = json.loads(text)
+    datatype = DataType.from_name(data["datatype"])
+    cls = Result if data.get("kind") == "result" else Parameter
+    return cls(
+        name=data["name"],
+        datatype=datatype,
+        synopsis=data.get("synopsis", ""),
+        description=data.get("description", ""),
+        occurrence=Occurrence.from_name(data.get("occurrence", "once")),
+        unit=_unit_from_json(data.get("unit", {})),
+        valid_values=tuple(_decode_value(v, datatype)
+                           for v in data.get("valid_values", [])),
+        default=_decode_value(data.get("default"), datatype),
+    )
+
+
+def _encode_value(value: Any, datatype: DataType) -> Any:
+    """Encode a Python value for storage (JSON or SQL cell)."""
+    if value is None:
+        return None
+    if datatype is DataType.TIMESTAMP and isinstance(value, _dt.datetime):
+        return value.strftime("%Y-%m-%d %H:%M:%S.%f")
+    if datatype is DataType.BOOLEAN:
+        return int(bool(value))
+    return value
+
+
+def _decode_value(value: Any, datatype: DataType) -> Any:
+    """Decode a stored cell back into the Python value space."""
+    if value is None:
+        return None
+    if datatype is DataType.TIMESTAMP:
+        if isinstance(value, _dt.datetime):
+            return value
+        for fmt in ("%Y-%m-%d %H:%M:%S.%f", "%Y-%m-%d %H:%M:%S"):
+            try:
+                return _dt.datetime.strptime(str(value), fmt)
+            except ValueError:
+                continue
+        raise DatabaseError(f"bad stored timestamp {value!r}")
+    if datatype is DataType.BOOLEAN:
+        return bool(value)
+    if datatype is DataType.DURATION:
+        return float(value)
+    return value
+
+
+class ExperimentStore:
+    """Persistence of one experiment in one :class:`Database`.
+
+    Run storage is safe under in-process concurrency (parallel
+    importers share one store): index allocation and the associated
+    inserts happen under a write lock.
+    """
+
+    def __init__(self, db: Database):
+        self.db = db
+        self._write_lock = threading.Lock()
+
+    # -- initialisation ----------------------------------------------------
+
+    def initialise(self, name: str) -> None:
+        """Create the meta tables for a fresh experiment database."""
+        if self.db.table_exists(_META):
+            raise DatabaseError("database is already initialised")
+        self.db.create_table(_META, [("key", "TEXT"), ("value", "TEXT")],
+                             primary_key="key")
+        self.db.create_table(_VARS, [("name", "TEXT"),
+                                     ("definition", "TEXT"),
+                                     ("position", "INTEGER")],
+                             primary_key="name")
+        self.db.create_table(_RUNS, [("run_index", "INTEGER"),
+                                     ("created", "TEXT"),
+                                     ("n_datasets", "INTEGER"),
+                                     ("active", "INTEGER")],
+                             primary_key="run_index")
+        self.db.create_table(_FILES, [("run_index", "INTEGER"),
+                                      ("filename", "TEXT"),
+                                      ("checksum", "TEXT")])
+        self.db.create_table(_ONCE, [("run_index", "INTEGER")],
+                             primary_key="run_index")
+        self.set_meta("name", name)
+        self.set_meta("schema_version", SCHEMA_VERSION)
+        self.db.commit()
+
+    @property
+    def is_initialised(self) -> bool:
+        return self.db.table_exists(_META)
+
+    # -- meta key/value ------------------------------------------------------
+
+    def set_meta(self, key: str, value: Any) -> None:
+        self.db.execute(
+            f"INSERT INTO {_META} (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+            (key, json.dumps(value)))
+        self.db.commit()
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        row = self.db.fetchone(
+            f"SELECT value FROM {_META} WHERE key=?", (key,))
+        if row is None:
+            return default
+        return json.loads(row[0])
+
+    # -- variable definitions --------------------------------------------
+
+    def save_variables(self, variables: VariableSet) -> None:
+        """Persist the full variable set (used at setup time)."""
+        self.db.execute(f"DELETE FROM {_VARS}")
+        self.db.insert_rows(
+            _VARS, ["name", "definition", "position"],
+            [(v.name, variable_to_json(v), i)
+             for i, v in enumerate(variables)])
+        self.db.commit()
+
+    def load_variables(self) -> VariableSet:
+        rows = self.db.fetchall(
+            f"SELECT definition FROM {_VARS} ORDER BY position")
+        return VariableSet([variable_from_json(r[0]) for r in rows])
+
+    def add_variable(self, var: Variable) -> None:
+        """Experiment evolution: add a variable.
+
+        Once-variables grow a column on ``pb_once`` (existing runs get
+        NULL content); multiple-variables grow a column on every active
+        run's data table.
+        """
+        variables = self.load_variables()
+        variables.add(var)  # raises on duplicates
+        pos = self.db.fetchone(
+            f"SELECT COALESCE(MAX(position), -1) + 1 FROM {_VARS}")[0]
+        self.db.execute(
+            f"INSERT INTO {_VARS} (name, definition, position) "
+            "VALUES (?, ?, ?)", (var.name, variable_to_json(var), pos))
+        col = quote_identifier(var.name)
+        stype = sql_type(var.datatype)
+        if var.occurrence is Occurrence.ONCE:
+            self.db.execute(
+                f"ALTER TABLE {_ONCE} ADD COLUMN {col} {stype}")
+        else:
+            for idx in self.run_indices():
+                self.db.execute(
+                    f"ALTER TABLE {quote_identifier(self.run_table(idx))} "
+                    f"ADD COLUMN {col} {stype}")
+        self.db.commit()
+
+    def remove_variable(self, name: str) -> None:
+        """Experiment evolution: remove a variable and its stored data."""
+        variables = self.load_variables()
+        var = variables.remove(name)
+        self.db.execute(f"DELETE FROM {_VARS} WHERE name=?", (name,))
+        col = quote_identifier(name)
+        if var.occurrence is Occurrence.ONCE:
+            if name in self.db.table_columns(_ONCE):
+                self.db.execute(f"ALTER TABLE {_ONCE} DROP COLUMN {col}")
+        else:
+            for idx in self.run_indices():
+                table = self.run_table(idx)
+                if name in self.db.table_columns(table):
+                    self.db.execute(
+                        f"ALTER TABLE {quote_identifier(table)} "
+                        f"DROP COLUMN {col}")
+        self.db.commit()
+
+    def modify_variable(self, var: Variable) -> None:
+        """Experiment evolution: replace the definition of a variable.
+
+        Only metadata (synopsis, description, valid values, default,
+        unit) may change; datatype and occurrence changes would require a
+        data migration and are rejected.
+        """
+        old = self.load_variables()[var.name]
+        if old.datatype is not var.datatype:
+            raise DefinitionError(
+                f"cannot change datatype of {var.name!r} "
+                f"({old.datatype.value} -> {var.datatype.value})")
+        if old.occurrence is not var.occurrence:
+            raise DefinitionError(
+                f"cannot change occurrence of {var.name!r}")
+        self.db.execute(
+            f"UPDATE {_VARS} SET definition=? WHERE name=?",
+            (variable_to_json(var), var.name))
+        self.db.commit()
+
+    def _ensure_once_columns(self, variables: VariableSet) -> None:
+        existing = set(self.db.table_columns(_ONCE))
+        for var in variables.once():
+            if var.name not in existing:
+                self.db.execute(
+                    f"ALTER TABLE {_ONCE} ADD COLUMN "
+                    f"{quote_identifier(var.name)} "
+                    f"{sql_type(var.datatype)}")
+
+    # -- runs ------------------------------------------------------------------
+
+    @staticmethod
+    def run_table(index: int) -> str:
+        return f"rundata_{int(index)}"
+
+    def next_run_index(self) -> int:
+        row = self.db.fetchone(
+            f"SELECT COALESCE(MAX(run_index), 0) + 1 FROM {_RUNS}")
+        return int(row[0])
+
+    def store_run(self, run: RunData, variables: VariableSet | None = None,
+                  *, created: _dt.datetime | None = None) -> int:
+        """Persist a validated :class:`RunData`; returns the run index."""
+        variables = variables or self.load_variables()
+        created = created or run.created or _dt.datetime.now()
+        with self._write_lock:
+            return self._store_run_locked(run, variables, created)
+
+    def _store_run_locked(self, run: RunData, variables: VariableSet,
+                          created: _dt.datetime) -> int:
+        index = self.next_run_index()
+
+        self._ensure_once_columns(variables)
+        once_vars = [v for v in variables.once() if v.name in run.once]
+        cols = ["run_index"] + [v.name for v in once_vars]
+        vals = [index] + [_encode_value(run.once[v.name], v.datatype)
+                          for v in once_vars]
+        self.db.insert_rows(_ONCE, cols, [vals])
+
+        multi_vars = variables.multiple()
+        table = self.run_table(index)
+        self.db.create_table(
+            table,
+            [("dataset_index", "INTEGER")]
+            + [(v.name, sql_type(v.datatype)) for v in multi_vars],
+            primary_key="dataset_index")
+        if run.datasets:
+            names = [v.name for v in multi_vars]
+            rows = []
+            for i, ds in enumerate(run.datasets):
+                rows.append([i] + [
+                    _encode_value(ds.get(v.name), v.datatype)
+                    for v in multi_vars])
+            self.db.insert_rows(table, ["dataset_index"] + names, rows)
+
+        self.db.insert_rows(
+            _RUNS, ["run_index", "created", "n_datasets", "active"],
+            [(index, created.strftime("%Y-%m-%d %H:%M:%S.%f"),
+              len(run.datasets), 1)])
+        if run.source_files:
+            from .checksums import file_checksum
+            rows = []
+            for fn in run.source_files:
+                checksum = run.file_checksums.get(fn)
+                if checksum is None:
+                    checksum = file_checksum(fn, missing_ok=True)
+                rows.append((index, fn, checksum))
+            self.db.insert_rows(
+                _FILES, ["run_index", "filename", "checksum"], rows)
+        self.db.commit()
+        return index
+
+    def run_indices(self, *, include_inactive: bool = False) -> list[int]:
+        sql = f"SELECT run_index FROM {_RUNS}"
+        if not include_inactive:
+            sql += " WHERE active=1"
+        return [int(r[0]) for r in self.db.fetchall(sql + " ORDER BY run_index")]
+
+    def run_record(self, index: int) -> RunRecord:
+        row = self.db.fetchone(
+            f"SELECT run_index, created, n_datasets FROM {_RUNS} "
+            "WHERE run_index=? AND active=1", (index,))
+        if row is None:
+            raise NoSuchRunError(f"no run with index {index}")
+        files = [r[0] for r in self.db.fetchall(
+            f"SELECT filename FROM {_FILES} WHERE run_index=?", (index,))]
+        return RunRecord(
+            index=int(row[0]),
+            created=_decode_value(row[1], DataType.TIMESTAMP),
+            source_files=tuple(files),
+            n_datasets=int(row[2]),
+            once=self.load_once(index))
+
+    def load_once(self, index: int) -> dict[str, Any]:
+        """Once-content of a run, decoded per variable datatype."""
+        variables = self.load_variables()
+        cols = self.db.table_columns(_ONCE)
+        row = self.db.fetchone(
+            f"SELECT * FROM {_ONCE} WHERE run_index=?", (index,))
+        if row is None:
+            raise NoSuchRunError(f"no run with index {index}")
+        out: dict[str, Any] = {}
+        for col, value in zip(cols, row):
+            if col == "run_index" or value is None:
+                continue
+            if col in variables:
+                out[col] = _decode_value(value, variables[col].datatype)
+        return out
+
+    def load_datasets(self, index: int) -> list[dict[str, Any]]:
+        """All data sets of a run, decoded per variable datatype."""
+        variables = self.load_variables()
+        table = self.run_table(index)
+        if not self.db.table_exists(table):
+            raise NoSuchRunError(f"no run with index {index}")
+        cols = self.db.table_columns(table)
+        rows = self.db.fetchall(
+            f"SELECT * FROM {quote_identifier(table)} "
+            "ORDER BY dataset_index")
+        out = []
+        for row in rows:
+            ds: dict[str, Any] = {}
+            for col, value in zip(cols, row):
+                if col == "dataset_index" or value is None:
+                    continue
+                if col in variables:
+                    ds[col] = _decode_value(value, variables[col].datatype)
+            out.append(ds)
+        return out
+
+    def load_run(self, index: int) -> RunData:
+        """Rehydrate a full :class:`RunData` from storage."""
+        record = self.run_record(index)
+        return RunData(once=self.load_once(index),
+                       datasets=self.load_datasets(index),
+                       source_files=record.source_files,
+                       created=record.created)
+
+    def delete_run(self, index: int) -> None:
+        """Deactivate a run and drop its data table."""
+        if index not in self.run_indices():
+            raise NoSuchRunError(f"no run with index {index}")
+        self.db.execute(
+            f"UPDATE {_RUNS} SET active=0 WHERE run_index=?", (index,))
+        self.db.execute(
+            f"DELETE FROM {_ONCE} WHERE run_index=?", (index,))
+        self.db.drop_table(self.run_table(index))
+        self.db.commit()
+
+    def n_runs(self) -> int:
+        return len(self.run_indices())
+
+    # -- duplicate import guard ------------------------------------------
+
+    def known_checksums(self) -> dict[str, int]:
+        """Map of input-file checksum -> run index (active runs only)."""
+        rows = self.db.fetchall(
+            f"SELECT f.checksum, f.run_index FROM {_FILES} f "
+            f"JOIN {_RUNS} r ON r.run_index = f.run_index "
+            "WHERE r.active=1 AND f.checksum IS NOT NULL")
+        return {r[0]: int(r[1]) for r in rows}
+
+    def find_import(self, checksum: str) -> int | None:
+        """Run index a file with this checksum was imported as, if any."""
+        return self.known_checksums().get(checksum)

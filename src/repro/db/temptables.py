@@ -1,0 +1,72 @@
+"""Temporary tables used for element-to-element communication in queries.
+
+Section 4.2: "the query elements communicate through temporary tables of
+the experiment database. [...] each query element stores its output
+vector into its own temporary table.  A reference to this table (its
+name) is passed on to the element by which it was invoked."
+
+:class:`TempTableManager` hands out unique table names, creates the
+tables and tears everything down when the query finishes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from .backend import Database
+
+__all__ = ["TempTableManager"]
+
+
+#: process-wide counter so two queries on the same database (e.g. with
+#: kept temp tables, or concurrent parallel-node managers) never clash
+_GLOBAL_COUNTER = itertools.count()
+
+
+class TempTableManager:
+    """Creates and tracks per-query-element temporary tables."""
+
+    def __init__(self, db: Database, prefix: str = "pbtmp"):
+        self.db = db
+        self.prefix = prefix
+        self._counter = _GLOBAL_COUNTER
+        self._tables: list[str] = []
+
+    def new_table(self, element_name: str,
+                  columns: Sequence[tuple[str, str]]) -> str:
+        """Create a fresh temp table for ``element_name`` with the given
+        ``(column, sqltype)`` pairs; returns the table name (the
+        "reference" passed between elements)."""
+        n = next(self._counter)
+        safe = "".join(c if c.isalnum() else "_" for c in element_name)
+        name = f"{self.prefix}_{safe}_{n}"
+        self.db.create_table(name, columns, temporary=True)
+        self._tables.append(name)
+        return name
+
+    def adopt(self, name: str) -> None:
+        """Track an externally created table for cleanup."""
+        self._tables.append(name)
+
+    @property
+    def tables(self) -> list[str]:
+        return list(self._tables)
+
+    def drop_all(self) -> None:
+        """Drop every table created by this manager (query teardown)."""
+        for name in self._tables:
+            self.db.drop_table(name)
+        self._tables.clear()
+
+    def row_count(self, name: str) -> int:
+        return self.db.count_rows(name)
+
+    def __enter__(self) -> "TempTableManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.drop_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TempTableManager({len(self._tables)} tables)"

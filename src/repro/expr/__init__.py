@@ -1,0 +1,11 @@
+"""Safe arithmetic expression engine for derived parameters and the
+``eval`` query operator."""
+
+from .ast import Binary, Call, Name, Node, Number, Unary
+from .evaluator import FUNCTIONS, Expression, evaluate
+from .lexer import Token, TokenType, tokenize
+from .parser import parse
+
+__all__ = ["Binary", "Call", "Name", "Node", "Number", "Unary",
+           "FUNCTIONS", "Expression", "evaluate", "Token", "TokenType",
+           "tokenize", "parse"]

@@ -1,0 +1,82 @@
+"""AST node types for perfbase expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Node", "Number", "Name", "Unary", "Binary", "Call"]
+
+
+class Node:
+    """Base class of expression AST nodes."""
+
+    def variables(self) -> set[str]:
+        """Names of all variables referenced below this node."""
+        out: set[str] = set()
+        self._collect(out)
+        return out
+
+    def _collect(self, out: set[str]) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Number(Node):
+    value: float
+
+    def _collect(self, out: set[str]) -> None:
+        pass
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Name(Node):
+    name: str
+
+    def _collect(self, out: set[str]) -> None:
+        out.add(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    op: str
+    operand: Node
+
+    def _collect(self, out: set[str]) -> None:
+        self.operand._collect(out)
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    op: str
+    left: Node
+    right: Node
+
+    def _collect(self, out: set[str]) -> None:
+        self.left._collect(out)
+        self.right._collect(out)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    func: str
+    args: Tuple[Node, ...]
+
+    def _collect(self, out: set[str]) -> None:
+        for a in self.args:
+            a._collect(out)
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(str(a) for a in self.args)})"

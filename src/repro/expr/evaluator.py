@@ -1,0 +1,142 @@
+"""Evaluator for perfbase expression ASTs.
+
+Two evaluation styles are offered:
+
+* :func:`evaluate` — scalar evaluation against a mapping of variable
+  values (used by derived parameters during import).
+* :class:`Expression` — a compiled expression that can also be applied
+  element-wise over numpy arrays (used by the ``eval`` query operator,
+  where the operands are whole data vectors).  Vectorisation comes for
+  free because every operation maps onto numpy ufuncs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.errors import ExpressionError
+from .ast import Binary, Call, Name, Node, Number, Unary
+from .parser import parse
+
+__all__ = ["Expression", "evaluate", "FUNCTIONS"]
+
+#: Functions callable from expressions.  Each works on scalars and on
+#: numpy arrays.
+FUNCTIONS: dict[str, Any] = {
+    "abs": np.abs,
+    "sqrt": np.sqrt,
+    "exp": np.exp,
+    "log": np.log,
+    "log2": np.log2,
+    "log10": np.log10,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "round": np.round,
+    "sin": np.sin,
+    "cos": np.cos,
+    "tan": np.tan,
+    "min": np.minimum,
+    "max": np.maximum,
+    "pow": np.power,
+    "sign": np.sign,
+}
+
+_CONSTANTS = {"pi": math.pi, "e": math.e, "inf": math.inf}
+
+_BINOPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "//": np.floor_divide,
+    "%": np.mod,
+    "**": np.power,
+    "<": np.less,
+    ">": np.greater,
+    "<=": np.less_equal,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+
+def _eval_node(node: Node, env: Mapping[str, Any]) -> Any:
+    if isinstance(node, Number):
+        return node.value
+    if isinstance(node, Name):
+        if node.name in env:
+            return env[node.name]
+        if node.name in _CONSTANTS:
+            return _CONSTANTS[node.name]
+        raise ExpressionError(f"unknown variable {node.name!r}")
+    if isinstance(node, Unary):
+        value = _eval_node(node.operand, env)
+        return -value if node.op == "-" else +value
+    if isinstance(node, Binary):
+        left = _eval_node(node.left, env)
+        right = _eval_node(node.right, env)
+        try:
+            result = _BINOPS[node.op](left, right)
+        except ZeroDivisionError:
+            raise ExpressionError(
+                f"division by zero in {node}") from None
+        return result
+    if isinstance(node, Call):
+        try:
+            func = FUNCTIONS[node.func]
+        except KeyError:
+            known = ", ".join(sorted(FUNCTIONS))
+            raise ExpressionError(
+                f"unknown function {node.func!r} (known: {known})"
+            ) from None
+        args = [_eval_node(a, env) for a in node.args]
+        try:
+            return func(*args)
+        except TypeError as exc:
+            raise ExpressionError(
+                f"bad arguments for {node.func}(): {exc}") from None
+    raise ExpressionError(f"cannot evaluate node {node!r}")  # pragma: no cover
+
+
+class Expression:
+    """A parsed, reusable expression."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.ast = parse(source)
+
+    @property
+    def variables(self) -> set[str]:
+        """Variable names the expression depends on."""
+        return {n for n in self.ast.variables() if n not in _CONSTANTS}
+
+    def __call__(self, env: Mapping[str, Any] | None = None,
+                 **kwargs: Any) -> Any:
+        """Evaluate with variables from ``env`` and/or keywords.
+
+        Values may be scalars or numpy arrays; arrays are combined
+        element-wise with broadcasting.
+        """
+        merged: dict[str, Any] = dict(env or {})
+        merged.update(kwargs)
+        missing = self.variables - merged.keys()
+        if missing:
+            raise ExpressionError(
+                f"expression {self.source!r} needs values for: "
+                + ", ".join(sorted(missing)))
+        result = _eval_node(self.ast, merged)
+        if isinstance(result, np.generic):
+            return result.item()
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Expression({self.source!r})"
+
+
+def evaluate(source: str, env: Mapping[str, Any] | None = None,
+             **kwargs: Any) -> Any:
+    """One-shot parse-and-evaluate."""
+    return Expression(source)(env, **kwargs)

@@ -1,0 +1,78 @@
+"""Tokenizer for perfbase arithmetic expressions.
+
+Derived parameters (Section 3.2) and the ``eval`` operator
+(Section 3.3.2: "eval for arbitrary function definitions") are defined by
+arithmetic expressions over variable names, e.g.
+``"S_chunk * N_proc / 2**20"`` or ``"log10(B_scatter)"``.  The grammar is
+deliberately small and is evaluated by our own interpreter — never by
+Python ``eval`` — so expressions from XML control files are safe.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from ..core.errors import ExpressionError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(enum.Enum):
+    NUMBER = "number"
+    NAME = "name"
+    OP = "op"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.text!r}@{self.position})"
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<number>(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>\*\*|//|<=|>=|==|!=|[-+*/%^<>])
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+""", re.VERBOSE)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize an expression; raises :class:`ExpressionError` on any
+    character outside the grammar."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise ExpressionError(
+                f"unexpected character {text[pos]!r} at position {pos} "
+                f"in expression {text!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        mapping = {
+            "number": TokenType.NUMBER,
+            "name": TokenType.NAME,
+            "op": TokenType.OP,
+            "lparen": TokenType.LPAREN,
+            "rparen": TokenType.RPAREN,
+            "comma": TokenType.COMMA,
+        }
+        tokens.append(Token(mapping[kind], m.group(0), m.start()))
+    tokens.append(Token(TokenType.END, "", len(text)))
+    return tokens

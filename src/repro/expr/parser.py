@@ -1,0 +1,127 @@
+"""Recursive-descent parser for perfbase expressions.
+
+Grammar (standard precedence, ``**``/``^`` right-associative)::
+
+    expr    := cmp
+    cmp     := addsub (("<"|">"|"<="|">="|"=="|"!=") addsub)?
+    addsub  := muldiv (("+"|"-") muldiv)*
+    muldiv  := unary (("*"|"/"|"//"|"%") unary)*
+    unary   := ("+"|"-") unary | power
+    power   := atom (("**"|"^") unary)?
+    atom    := NUMBER | NAME | NAME "(" args ")" | "(" expr ")"
+    args    := (expr ("," expr)*)?
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ExpressionError
+from .ast import Binary, Call, Name, Node, Number, Unary
+from .lexer import Token, TokenType, tokenize
+
+__all__ = ["parse"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.current
+        self.pos += 1
+        return tok
+
+    def expect(self, ttype: TokenType) -> Token:
+        if self.current.type is not ttype:
+            raise ExpressionError(
+                f"expected {ttype.value} but found "
+                f"{self.current.text or 'end of input'!r} at position "
+                f"{self.current.position} in {self.source!r}")
+        return self.advance()
+
+    def at_op(self, *ops: str) -> bool:
+        return self.current.type is TokenType.OP and self.current.text in ops
+
+    # -- grammar -------------------------------------------------------
+
+    def parse_expr(self) -> Node:
+        return self.parse_cmp()
+
+    def parse_cmp(self) -> Node:
+        left = self.parse_addsub()
+        if self.at_op("<", ">", "<=", ">=", "==", "!="):
+            op = self.advance().text
+            right = self.parse_addsub()
+            return Binary(op, left, right)
+        return left
+
+    def parse_addsub(self) -> Node:
+        node = self.parse_muldiv()
+        while self.at_op("+", "-"):
+            op = self.advance().text
+            node = Binary(op, node, self.parse_muldiv())
+        return node
+
+    def parse_muldiv(self) -> Node:
+        node = self.parse_unary()
+        while self.at_op("*", "/", "//", "%"):
+            op = self.advance().text
+            node = Binary(op, node, self.parse_unary())
+        return node
+
+    def parse_unary(self) -> Node:
+        if self.at_op("+", "-"):
+            op = self.advance().text
+            return Unary(op, self.parse_unary())
+        return self.parse_power()
+
+    def parse_power(self) -> Node:
+        base = self.parse_atom()
+        if self.at_op("**", "^"):
+            self.advance()
+            # right-associative: recurse through unary
+            return Binary("**", base, self.parse_unary())
+        return base
+
+    def parse_atom(self) -> Node:
+        tok = self.current
+        if tok.type is TokenType.NUMBER:
+            self.advance()
+            return Number(float(tok.text))
+        if tok.type is TokenType.NAME:
+            self.advance()
+            if self.current.type is TokenType.LPAREN:
+                self.advance()
+                args: list[Node] = []
+                if self.current.type is not TokenType.RPAREN:
+                    args.append(self.parse_expr())
+                    while self.current.type is TokenType.COMMA:
+                        self.advance()
+                        args.append(self.parse_expr())
+                self.expect(TokenType.RPAREN)
+                return Call(tok.text, tuple(args))
+            return Name(tok.text)
+        if tok.type is TokenType.LPAREN:
+            self.advance()
+            node = self.parse_expr()
+            self.expect(TokenType.RPAREN)
+            return node
+        raise ExpressionError(
+            f"unexpected {tok.text or 'end of input'!r} at position "
+            f"{tok.position} in {self.source!r}")
+
+
+def parse(text: str) -> Node:
+    """Parse an expression string into an AST.
+
+    Raises :class:`~repro.core.errors.ExpressionError` on syntax errors.
+    """
+    parser = _Parser(tokenize(text), text)
+    node = parser.parse_expr()
+    parser.expect(TokenType.END)
+    return node

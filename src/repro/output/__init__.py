@@ -1,0 +1,19 @@
+"""Output formats: gnuplot input files, ASCII/LaTeX/XML/CSV tables and
+an ASCII bar chart (paper Section 3.3.4)."""
+
+from .ascii_table import AsciiTableFormat
+from .barchart import AsciiBarChartFormat, render_bars
+from .base import (Artifact, OutputFormat, available_formats, get_format,
+                   register_format)
+from .csvout import CsvFormat
+from .gnuplot import GnuplotFormat
+from .grace import GraceFormat
+from .latex import LatexTableFormat, latex_escape
+from .xmltable import XmlTableFormat
+
+__all__ = [
+    "AsciiTableFormat", "AsciiBarChartFormat", "render_bars", "Artifact",
+    "OutputFormat", "available_formats", "get_format", "register_format",
+    "CsvFormat", "GnuplotFormat", "GraceFormat", "LatexTableFormat", "latex_escape",
+    "XmlTableFormat",
+]

@@ -1,0 +1,68 @@
+"""Raw ASCII table output — one of the two formats the paper ships."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..query.vectors import DataVector
+from .base import Artifact, OutputFormat, format_cell, register_format
+
+__all__ = ["AsciiTableFormat"]
+
+
+@register_format
+class AsciiTableFormat(OutputFormat):
+    """Aligned plain-text table, one per input vector.
+
+    Options: ``title`` (header line), ``sort_by`` (column name),
+    ``precision`` (float digits, default 3).
+    """
+
+    format_name = "ascii"
+
+    def render(self, vectors: Sequence[DataVector]) -> list[Artifact]:
+        artifacts = []
+        for i, vector in enumerate(vectors):
+            suffix = f"_{i}" if len(vectors) > 1 else ""
+            artifacts.append(Artifact(
+                f"{self.stem}{suffix}.txt", self.render_one(vector)))
+        return artifacts
+
+    def render_one(self, vector: DataVector) -> str:
+        precision = int(self.option("precision", 3))
+        sort_by = self.option("sort_by")
+        order = [sort_by] if sort_by else [
+            c.name for c in vector.parameters]
+        headers = [c.axis_label() for c in vector.columns]
+        rows_out: list[list[str]] = []
+        for row in vector.rows(order_by=order):
+            cells = []
+            for value, col in zip(row, vector.columns):
+                if isinstance(value, float):
+                    cells.append(f"{value:.{precision}f}")
+                else:
+                    cells.append(format_cell(value, col))
+            rows_out.append(cells)
+        widths = [max(len(h), *(len(r[i]) for r in rows_out))
+                  if rows_out else len(h)
+                  for i, h in enumerate(headers)]
+        lines = []
+        title = self.option("title")
+        if title:
+            lines.append(str(title))
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for cells in rows_out:
+            lines.append("  ".join(
+                c.rjust(w) if _numericish(c) else c.ljust(w)
+                for c, w in zip(cells, widths)))
+        lines.append(f"({len(rows_out)} rows)")
+        return "\n".join(lines) + "\n"
+
+
+def _numericish(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False

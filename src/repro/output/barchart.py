@@ -1,0 +1,93 @@
+"""ASCII bar chart renderer.
+
+Not part of the paper's format list, but this environment has no gnuplot
+binary — so next to generating the gnuplot input files we render the
+same chart as text, which is what the Fig. 8 benchmark prints.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.errors import QueryError
+from ..query.vectors import DataVector
+from .base import Artifact, OutputFormat, format_cell, register_format
+
+__all__ = ["AsciiBarChartFormat", "render_bars"]
+
+
+def render_bars(labels: Sequence[str], values: Sequence[float], *,
+                width: int = 50, title: str = "",
+                unit: str = "") -> str:
+    """Horizontal bar chart.  Negative values extend left of a zero
+    axis, positive right — matching the above/below-zero reading of the
+    paper's Fig. 8."""
+    if len(labels) != len(values):
+        raise QueryError("labels and values differ in length")
+    if not values:
+        return f"{title}\n(no data)\n" if title else "(no data)\n"
+    vmax = max(max(values, default=0.0), 0.0)
+    vmin = min(min(values, default=0.0), 0.0)
+    span = vmax - vmin or 1.0
+    zero_col = round(-vmin / span * width)
+    label_w = max(len(l) for l in labels)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in zip(labels, values):
+        col = round((value - vmin) / span * width)
+        if value >= 0:
+            bar = " " * zero_col + "|" + "#" * max(col - zero_col, 0)
+        else:
+            n = max(zero_col - col, 0)
+            bar = " " * (zero_col - n) + "#" * n + "|"
+        suffix = f" {value:+.1f}{unit}"
+        lines.append(f"{label.rjust(label_w)} {bar}{suffix}")
+    return "\n".join(lines) + "\n"
+
+
+@register_format
+class AsciiBarChartFormat(OutputFormat):
+    """Bar chart over the first numeric result column.
+
+    Options: ``x`` (label column; default: all parameter columns joined),
+    ``value`` (result column; default first numeric), ``width``,
+    ``title``.
+    """
+
+    format_name = "barchart"
+
+    def render(self, vectors: Sequence[DataVector]) -> list[Artifact]:
+        if not vectors:
+            raise QueryError("barchart output needs at least one vector")
+        vector = vectors[0]
+        value_name = self.option("value")
+        if value_name:
+            value_col = vector.column(value_name)
+        else:
+            numeric = [c for c in vector.results if c.datatype.is_numeric]
+            if not numeric:
+                raise QueryError("barchart: no numeric result column")
+            value_col = numeric[0]
+        x_name = self.option("x")
+        labels: list[str] = []
+        values: list[float] = []
+        order = [x_name] if x_name else [
+            c.name for c in vector.parameters]
+        for row in vector.dicts(order_by=order):
+            if x_name:
+                labels.append(format_cell(row[x_name],
+                                          vector.column(x_name)))
+            else:
+                labels.append(" ".join(
+                    format_cell(row[p.name], p)
+                    for p in vector.parameters) or "all")
+            v = row[value_col.name]
+            values.append(float(v) if v is not None else 0.0)
+        chart = render_bars(
+            labels, values, width=int(self.option("width", 50)),
+            title=str(self.option("title", value_col.axis_label())),
+            unit=f" {value_col.unit.symbol}" if value_col.unit.symbol
+            else "")
+        return [Artifact(f"{self.stem}.chart.txt", chart)]

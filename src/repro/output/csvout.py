@@ -1,0 +1,42 @@
+"""CSV output (a natural sibling of the raw ASCII table)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Sequence
+
+from ..query.vectors import DataVector
+from .base import Artifact, OutputFormat, format_cell, register_format
+
+__all__ = ["CsvFormat"]
+
+
+@register_format
+class CsvFormat(OutputFormat):
+    """RFC-4180 CSV, one file per input vector.
+
+    Options: ``header`` (bool, default true), ``delimiter``.
+    """
+
+    format_name = "csv"
+
+    def render(self, vectors: Sequence[DataVector]) -> list[Artifact]:
+        artifacts = []
+        for i, vector in enumerate(vectors):
+            suffix = f"_{i}" if len(vectors) > 1 else ""
+            artifacts.append(Artifact(
+                f"{self.stem}{suffix}.csv", self.render_one(vector)))
+        return artifacts
+
+    def render_one(self, vector: DataVector) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf, delimiter=self.option("delimiter", ","),
+                            lineterminator="\n")
+        if self.option("header", True):
+            writer.writerow(vector.column_names)
+        order = [c.name for c in vector.parameters]
+        for row in vector.rows(order_by=order):
+            writer.writerow([
+                format_cell(v, c) for v, c in zip(row, vector.columns)])
+        return buf.getvalue()

@@ -1,0 +1,213 @@
+"""Gnuplot output: data files plus a driving script.
+
+This is perfbase's flagship output (Section 3.3.4: "input files for the
+Gnuplot plotting program, supporting a variety of plotting styles and
+direct control of Gnuplot"; Section 5 / Fig. 8 shows a bar chart
+"created through Gnuplot ... unedited as it was created by perfbase.
+All labels and the legend are derived from the experiment definition and
+the query specification").
+
+Accordingly:
+
+* axis labels come from the column metadata (synopsis + unit),
+* the legend entries come from the producing elements / series columns,
+* ``raw`` option lines are passed through verbatim ("direct control").
+
+Supported styles: ``bars`` (clustered bar chart as in Fig. 8),
+``lines``, ``points``, ``linespoints``, and ``errorbars`` (the first
+numeric result is the value, the second its error — the natural
+rendering of the paper's avg/stddev sufficiency check).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.errors import QueryError
+from ..query.vectors import DataVector
+from .base import Artifact, OutputFormat, format_cell, register_format
+
+__all__ = ["GnuplotFormat"]
+
+
+@register_format
+class GnuplotFormat(OutputFormat):
+    """Renders ``<stem>.gp`` (script) and ``<stem>.dat`` (data).
+
+    Options
+    -------
+    style:
+        ``bars`` | ``lines`` | ``points`` | ``linespoints``
+        (default ``lines``).
+    x:
+        Name of the x-axis column (default: first parameter column).
+    series:
+        Optional parameter column whose distinct values become separate
+        plot series (legend entries).
+    title, xlabel, ylabel:
+        Overrides; defaults derive from column metadata.
+    logx, logy:
+        Booleans for logarithmic axes.
+    terminal:
+        gnuplot terminal line content (default
+        ``png size 900,600``).
+    raw:
+        List of verbatim gnuplot lines injected before the plot command
+        (the paper's "direct control of Gnuplot").
+    """
+
+    format_name = "gnuplot"
+
+    def render(self, vectors: Sequence[DataVector]) -> list[Artifact]:
+        if not vectors:
+            raise QueryError("gnuplot output needs at least one vector")
+        vector = vectors[0]
+        style = self.option("style", "lines")
+        if style not in ("bars", "lines", "points", "linespoints",
+                         "errorbars"):
+            raise QueryError(f"unknown gnuplot style {style!r}")
+
+        x_name = self.option("x") or self._default_x(vector)
+        x_col = vector.column(x_name)
+        series_name = self.option("series")
+        y_cols = [c for c in vector.results if c.datatype.is_numeric]
+        if not y_cols:
+            raise QueryError("gnuplot output: no numeric result columns")
+        if style == "errorbars" and len(y_cols) < 2:
+            raise QueryError(
+                "gnuplot errorbars style needs two numeric result "
+                "columns (value and error)")
+
+        if series_name:
+            series_col = vector.column(series_name)
+            series_values = sorted(
+                {row[series_name] for row in vector.dicts()},
+                key=lambda v: (v is None, v))
+        else:
+            series_col = None
+            series_values = [None]
+
+        dat_name = f"{self.stem}.dat"
+        gp_name = f"{self.stem}.gp"
+        data = self._render_data(vector, x_name, series_name,
+                                 series_values, y_cols)
+        script = self._render_script(vector, x_col, series_col,
+                                     series_values, y_cols, dat_name,
+                                     style)
+        return [Artifact(gp_name, script), Artifact(dat_name, data)]
+
+    # -- helpers --------------------------------------------------------
+
+    @staticmethod
+    def _default_x(vector: DataVector) -> str:
+        params = vector.parameters
+        if not params:
+            raise QueryError(
+                "gnuplot output: vector has no parameter column to use "
+                "as x axis; set the x option")
+        return params[0].name
+
+    def _render_data(self, vector: DataVector, x_name: str,
+                     series_name: str | None, series_values: list,
+                     y_cols) -> str:
+        """Gnuplot 'index' blocks: one block per series, blank-line
+        separated, each row ``x y1 y2 ...``."""
+        rows = vector.dicts(order_by=[x_name])
+        blocks: list[str] = []
+        for sval in series_values:
+            lines = [f"# series: {series_name}={sval}"
+                     if series_name else "# series: all"]
+            for row in rows:
+                if series_name and row[series_name] != sval:
+                    continue
+                x = row[x_name]
+                cells = [self._num(x)]
+                cells += [self._num(row[c.name]) for c in y_cols]
+                lines.append(" ".join(cells))
+            blocks.append("\n".join(lines))
+        return "\n\n\n".join(blocks) + "\n"
+
+    @staticmethod
+    def _num(value) -> str:
+        if value is None:
+            return "NaN"
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, (int, float)):
+            return repr(value)
+        # categorical x values are emitted quoted for xticlabels
+        return '"%s"' % str(value).replace('"', "'")
+
+    def _render_script(self, vector: DataVector, x_col, series_col,
+                       series_values: list, y_cols, dat_name: str,
+                       style: str) -> str:
+        title = self.option("title", "")
+        xlabel = self.option("xlabel", x_col.axis_label())
+        ylabel = self.option("ylabel", y_cols[0].axis_label())
+        terminal = self.option("terminal", "png size 900,600")
+        lines = [
+            "# generated by perfbase (repro) — do not edit",
+            f"set terminal {terminal}",
+            f"set output '{self.stem}.png'",
+            f"set title \"{title}\"" if title else "unset title",
+            f"set xlabel \"{xlabel}\"",
+            f"set ylabel \"{ylabel}\"",
+            "set key outside right top",
+            "set grid ytics",
+        ]
+        if self.option("logx"):
+            lines.append("set logscale x")
+        if self.option("logy"):
+            lines.append("set logscale y")
+        if style == "bars":
+            lines += [
+                "set style data histograms",
+                "set style histogram clustered gap 1",
+                "set style fill solid 0.8 border -1",
+                "set boxwidth 0.9",
+                "set xtics rotate by -35",
+            ]
+        for raw in self.option("raw", []):
+            lines.append(str(raw))
+
+        plots: list[str] = []
+        categorical_x = not x_col.datatype.is_numeric
+        for si, sval in enumerate(series_values):
+            if style == "errorbars":
+                # columns: x, value, error (further y columns ignored)
+                label = self._series_label(series_col, sval,
+                                           y_cols[0], 1)
+                using = "using 1:2:3"
+                if categorical_x:
+                    using = "using 0:2:3:xtic(1)"
+                plots.append(
+                    f"'{dat_name}' index {si} {using} "
+                    f"with yerrorbars title \"{label}\"")
+                continue
+            for yi, y in enumerate(y_cols):
+                label = self._series_label(series_col, sval, y,
+                                           len(y_cols))
+                if style == "bars":
+                    using = (f"using {yi + 2}:xtic(1)")
+                    plots.append(
+                        f"'{dat_name}' index {si} {using} "
+                        f"title \"{label}\"")
+                else:
+                    using = f"using 1:{yi + 2}"
+                    if categorical_x:
+                        using = f"using 0:{yi + 2}:xtic(1)"
+                    plots.append(
+                        f"'{dat_name}' index {si} {using} "
+                        f"with {style} title \"{label}\"")
+        lines.append("plot \\\n     " + ", \\\n     ".join(plots))
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _series_label(series_col, sval, y_col, n_y: int) -> str:
+        parts = []
+        if series_col is not None:
+            parts.append(f"{series_col.synopsis or series_col.name} "
+                         f"= {format_cell(sval, series_col)}")
+        if n_y > 1 or series_col is None:
+            parts.append(y_col.synopsis or y_col.name)
+        return ", ".join(parts)

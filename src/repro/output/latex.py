@@ -1,0 +1,77 @@
+"""LaTeX table output — listed as *planned* in Section 3.3.4,
+implemented here."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..query.vectors import DataVector
+from .base import Artifact, OutputFormat, format_cell, register_format
+
+__all__ = ["LatexTableFormat"]
+
+_SPECIALS = {"&": r"\&", "%": r"\%", "$": r"\$", "#": r"\#",
+             "_": r"\_", "{": r"\{", "}": r"\}", "~": r"\textasciitilde{}",
+             "^": r"\textasciicircum{}", "\\": r"\textbackslash{}"}
+
+
+def latex_escape(text: str) -> str:
+    return "".join(_SPECIALS.get(ch, ch) for ch in text)
+
+
+@register_format
+class LatexTableFormat(OutputFormat):
+    """A ``tabular`` environment (optionally wrapped in ``table``).
+
+    Options: ``caption``, ``label``, ``precision`` (default 3),
+    ``booktabs`` (use \\toprule etc., default true).
+    """
+
+    format_name = "latex"
+
+    def render(self, vectors: Sequence[DataVector]) -> list[Artifact]:
+        artifacts = []
+        for i, vector in enumerate(vectors):
+            suffix = f"_{i}" if len(vectors) > 1 else ""
+            artifacts.append(Artifact(
+                f"{self.stem}{suffix}.tex", self.render_one(vector)))
+        return artifacts
+
+    def render_one(self, vector: DataVector) -> str:
+        precision = int(self.option("precision", 3))
+        booktabs = bool(self.option("booktabs", True))
+        caption = self.option("caption")
+        label = self.option("label")
+        top, mid, bottom = (("\\toprule", "\\midrule", "\\bottomrule")
+                            if booktabs else
+                            ("\\hline", "\\hline", "\\hline"))
+        align = "".join("r" if c.datatype.is_numeric else "l"
+                        for c in vector.columns)
+        lines: list[str] = []
+        wrap = caption is not None or label is not None
+        if wrap:
+            lines.append("\\begin{table}[htbp]")
+            lines.append("\\centering")
+        lines.append(f"\\begin{{tabular}}{{{align}}}")
+        lines.append(top)
+        lines.append(" & ".join(
+            latex_escape(c.axis_label()) for c in vector.columns) + r" \\")
+        lines.append(mid)
+        order = [c.name for c in vector.parameters]
+        for row in vector.rows(order_by=order):
+            cells = []
+            for value, col in zip(row, vector.columns):
+                if isinstance(value, float):
+                    cells.append(f"{value:.{precision}f}")
+                else:
+                    cells.append(latex_escape(format_cell(value, col)))
+            lines.append(" & ".join(cells) + r" \\")
+        lines.append(bottom)
+        lines.append("\\end{tabular}")
+        if wrap:
+            if caption:
+                lines.append(f"\\caption{{{latex_escape(str(caption))}}}")
+            if label:
+                lines.append(f"\\label{{{label}}}")
+            lines.append("\\end{table}")
+        return "\n".join(lines) + "\n"

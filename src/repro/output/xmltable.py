@@ -1,0 +1,56 @@
+"""XML table output — planned in Section 3.3.4 "for import into
+spreadsheet software like MS Excel", implemented here as a simple
+well-formed XML document carrying full column metadata."""
+
+from __future__ import annotations
+
+from typing import Sequence
+from xml.sax.saxutils import escape, quoteattr
+
+from ..query.vectors import DataVector
+from .base import Artifact, OutputFormat, format_cell, register_format
+
+__all__ = ["XmlTableFormat"]
+
+
+@register_format
+class XmlTableFormat(OutputFormat):
+    """``<table>`` with ``<column>`` metadata and ``<row>``/``<cell>``
+    data elements."""
+
+    format_name = "xml"
+
+    def render(self, vectors: Sequence[DataVector]) -> list[Artifact]:
+        artifacts = []
+        for i, vector in enumerate(vectors):
+            suffix = f"_{i}" if len(vectors) > 1 else ""
+            artifacts.append(Artifact(
+                f"{self.stem}{suffix}.xml", self.render_one(vector)))
+        return artifacts
+
+    def render_one(self, vector: DataVector) -> str:
+        lines = ['<?xml version="1.0" encoding="UTF-8"?>']
+        title = self.option("title")
+        attr = f" title={quoteattr(str(title))}" if title else ""
+        lines.append(f"<table{attr}>")
+        lines.append("  <columns>")
+        for c in vector.columns:
+            lines.append(
+                "    <column name=%s kind=%s datatype=%s unit=%s "
+                "synopsis=%s/>" % (
+                    quoteattr(c.name),
+                    quoteattr("result" if c.is_result else "parameter"),
+                    quoteattr(c.datatype.value),
+                    quoteattr(c.unit.symbol),
+                    quoteattr(c.synopsis)))
+        lines.append("  </columns>")
+        lines.append("  <rows>")
+        order = [c.name for c in vector.parameters]
+        for row in vector.rows(order_by=order):
+            cells = "".join(
+                f"<cell>{escape(format_cell(v, c))}</cell>"
+                for v, c in zip(row, vector.columns))
+            lines.append(f"    <row>{cells}</row>")
+        lines.append("  </rows>")
+        lines.append("</table>")
+        return "\n".join(lines) + "\n"

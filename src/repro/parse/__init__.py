@@ -1,0 +1,17 @@
+"""Input parsing: locations, run separators, input descriptions and the
+import engine (paper Section 3.2, Fig. 1)."""
+
+from .description import InputDescription
+from .importer import Importer, ImportReport, MissingPolicy
+from .locations import (DerivedParameter, FilenameLocation, FixedLocation,
+                        FixedValue, Location, NamedLocation, TabularColumn,
+                        TabularLocation)
+from .separators import RunSeparator
+from .source import MatchHit, SourceText
+
+__all__ = [
+    "InputDescription", "Importer", "ImportReport", "MissingPolicy",
+    "DerivedParameter", "FilenameLocation", "FixedLocation", "FixedValue",
+    "Location", "NamedLocation", "TabularColumn", "TabularLocation",
+    "RunSeparator", "MatchHit", "SourceText",
+]

@@ -1,0 +1,211 @@
+"""The import engine: turning input files into stored runs.
+
+Implements the file-to-run mappings of Fig. 1:
+
+a) one file, one description → one run (:meth:`Importer.import_file`);
+b) one file with run separators → multiple runs (same entry point);
+c) multiple files, one description → one run each
+   (:meth:`Importer.import_files`);
+d) multiple files, one description each, merged → a single run
+   (:meth:`Importer.import_merged` — "collect outputs of different
+   sources for a single run ... without needing to merge them into a
+   single input file").
+
+Also implements the batch-import behaviours of Section 3.2: the
+missing-content policy (:class:`MissingPolicy`) and the duplicate-import
+guard ("without explicit confirmation, importing data from the same
+input file more than once is not possible").
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.errors import DuplicateImportError, InputError
+from ..core.experiment import Experiment
+from ..core.run import RunData
+from ..db.checksums import content_checksum
+from .description import InputDescription
+
+__all__ = ["MissingPolicy", "ImportReport", "Importer"]
+
+
+class MissingPolicy(enum.Enum):
+    """What to do when a run lacks content for some variables
+    (Section 3.2's command-line switches)."""
+
+    DEFAULT = "default"   #: use declared defaults, leave the rest empty
+    EMPTY = "empty"       #: leave variables without content (no defaults)
+    DISCARD = "discard"   #: silently skip such runs (batch imports)
+    REJECT = "reject"     #: raise, aborting the import
+
+
+@dataclass
+class ImportReport:
+    """Outcome of an import operation."""
+
+    run_indices: list[int] = field(default_factory=list)
+    discarded: int = 0
+    duplicates: list[str] = field(default_factory=list)
+    missing: dict[int, list[str]] = field(default_factory=dict)
+
+    @property
+    def n_imported(self) -> int:
+        return len(self.run_indices)
+
+    def merge(self, other: "ImportReport") -> None:
+        self.run_indices.extend(other.run_indices)
+        self.discarded += other.discarded
+        self.duplicates.extend(other.duplicates)
+        self.missing.update(other.missing)
+
+
+class Importer:
+    """Imports input files into an :class:`Experiment`.
+
+    Parameters
+    ----------
+    experiment:
+        Target experiment (the acting user needs input access).
+    description:
+        Default input description for single-description imports.
+    missing:
+        Missing-content policy, default :attr:`MissingPolicy.DEFAULT`.
+    force:
+        Allow re-importing files whose content was imported before
+        (the "explicit confirmation" switch).
+    """
+
+    def __init__(self, experiment: Experiment,
+                 description: InputDescription | None = None, *,
+                 missing: MissingPolicy = MissingPolicy.DEFAULT,
+                 force: bool = False):
+        self.experiment = experiment
+        self.description = description
+        self.missing = missing
+        self.force = force
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_duplicate(self, text: str, filename: str) -> str:
+        checksum = content_checksum(text)
+        previous = self.experiment.store.find_import(checksum)
+        if previous is not None and not self.force:
+            raise DuplicateImportError(filename, previous)
+        return checksum
+
+    def _store(self, run: RunData, report: ImportReport) -> None:
+        use_defaults = self.missing is not MissingPolicy.EMPTY
+        try:
+            missing = run.validate(
+                self.experiment.variables,
+                require_all=self.missing in (MissingPolicy.DISCARD,
+                                             MissingPolicy.REJECT),
+                use_defaults=use_defaults)
+        except InputError:
+            if self.missing is MissingPolicy.DISCARD:
+                report.discarded += 1
+                return
+            raise
+        index = self.experiment.store_run(run, use_defaults=use_defaults)
+        report.run_indices.append(index)
+        if missing:
+            report.missing[index] = missing
+
+    def _read(self, path: str) -> str:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            return fh.read()
+
+    def _description(self,
+                     description: InputDescription | None
+                     ) -> InputDescription:
+        desc = description or self.description
+        if desc is None:
+            raise InputError("no input description given")
+        return desc
+
+    # -- Fig. 1 cases a) and b) ---------------------------------------------
+
+    def import_text(self, text: str, filename: str = "<string>",
+                    description: InputDescription | None = None
+                    ) -> ImportReport:
+        """Import one input text (cases a/b, programmatic form)."""
+        desc = self._description(description)
+        report = ImportReport()
+        try:
+            checksum = self._check_duplicate(text, filename)
+        except DuplicateImportError:
+            report.duplicates.append(filename)
+            return report
+        runs = desc.extract(text, filename, self.experiment.variables)
+        if not runs:
+            raise InputError(f"no runs found in {filename}")
+        for run in runs:
+            run.file_checksums[filename] = checksum
+            self._store(run, report)
+        return report
+
+    def import_file(self, path: str | os.PathLike,
+                    description: InputDescription | None = None
+                    ) -> ImportReport:
+        """Import one input file (cases a/b)."""
+        return self.import_text(self._read(str(path)), str(path),
+                                description)
+
+    # -- Fig. 1 case c) ------------------------------------------------------
+
+    def import_files(self, paths: Iterable[str | os.PathLike],
+                     description: InputDescription | None = None
+                     ) -> ImportReport:
+        """Import many files independently: one (or more) runs each.
+
+        Duplicates and (under the discard policy) incomplete runs are
+        skipped without aborting the batch — "batch imports of a large
+        number of input files without worrying about corrupt or
+        incomplete experiment data".
+        """
+        report = ImportReport()
+        for path in paths:
+            report.merge(self.import_file(path, description))
+        return report
+
+    # -- Fig. 1 case d) ------------------------------------------------------
+
+    def import_merged(self,
+                      parts: Sequence[tuple[str | os.PathLike,
+                                            InputDescription]]
+                      ) -> ImportReport:
+        """Merge several (file, description) pairs into a single run.
+
+        None of the descriptions may use a run separator (a multi-run
+        chunking cannot be merged into one run unambiguously).
+        """
+        if not parts:
+            raise InputError("import_merged needs at least one part")
+        report = ImportReport()
+        merged: RunData | None = None
+        for path, desc in parts:
+            if desc.separator is not None:
+                raise InputError(
+                    "run separators are not allowed when merging "
+                    "multiple inputs into a single run")
+            text = self._read(str(path))
+            try:
+                checksum = self._check_duplicate(text, str(path))
+            except DuplicateImportError:
+                report.duplicates.append(str(path))
+                return report
+            runs = desc.extract(text, str(path),
+                                self.experiment.variables)
+            part_run = runs[0]
+            part_run.file_checksums[str(path)] = checksum
+            if merged is None:
+                merged = part_run
+            else:
+                merged.merge(part_run)
+        assert merged is not None
+        self._store(merged, report)
+        return report

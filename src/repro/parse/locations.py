@@ -1,0 +1,395 @@
+"""Location classes: where to find variable content in an input file.
+
+Section 3.2 enumerates the vocabulary this module implements:
+
+* **named location** — "matches a given string or a regular expression
+  and use the text behind (or in front of) this match as content";
+* **fixed location** — "retrieves content from a defined row and column
+  in the text file";
+* **tabular location** — data sets "retrieved via a tabular location
+  which contains an arbitrary number of tabular values.  The start of a
+  table is defined by a match of a string or regular expression and
+  possibly an offset";
+* **filename location** — "retrieve content from the name of an input
+  file";
+* **fixed value** — "defined via a fixed value either within the XML
+  file or from the command line";
+* **derived parameter** — "an arithmetic relation" over other
+  parameters.
+
+All locations derive from :class:`Location` with a common ``extract``
+interface (Section 4.1: "all different ways to parse data from an input
+file are implemented in classes derived from the same base class,
+featuring a common set of methods with identical interfaces").
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import re
+from typing import Any, Sequence
+
+from ..core.errors import DataTypeError, InputError
+from ..core.run import RunData
+from ..core.variables import Occurrence, Variable, VariableSet
+from ..expr import Expression
+from .source import SourceText
+
+__all__ = ["Location", "NamedLocation", "FixedLocation", "TabularColumn",
+           "TabularLocation", "FilenameLocation", "FixedValue",
+           "DerivedParameter"]
+
+
+class Location(abc.ABC):
+    """Base class of all extraction locations.
+
+    ``extract`` reads from a :class:`SourceText` and writes the content
+    it found into a partial :class:`RunData`.  Locations that find
+    nothing simply leave the run untouched — the missing-content policy
+    is applied later by the importer.
+    """
+
+    #: names of the variables this location can provide
+    @property
+    @abc.abstractmethod
+    def provides(self) -> tuple[str, ...]:
+        ...
+
+    @abc.abstractmethod
+    def extract(self, source: SourceText, run: RunData,
+                variables: VariableSet) -> None:
+        ...
+
+    def _var(self, variables: VariableSet, name: str) -> Variable:
+        return variables[name]
+
+
+class NamedLocation(Location):
+    """Content located by a string/regex match.
+
+    Parameters
+    ----------
+    variable:
+        Target variable name.
+    match:
+        The literal string or regular expression to search for.  For a
+        regex with a capture group, group 1 becomes the raw content.
+    regex:
+        Whether ``match`` is a regular expression.
+    direction:
+        ``"after"`` (default) takes text behind the match, ``"before"``
+        text in front of it.
+    word:
+        Optional 0-based whitespace-separated word index within the
+        selected text; without it, smart parsing of the whole text per
+        the variable's datatype applies (which already copes with
+        leading ``=``/``:`` and unit suffixes).
+    which:
+        ``"first"`` (default), ``"last"`` or ``"all"`` occurrence.  With
+        ``"all"`` the variable must have multiple occurrence; every hit
+        appends one single-variable data set.
+    """
+
+    def __init__(self, variable: str, match: str, *, regex: bool = False,
+                 direction: str = "after", word: int | None = None,
+                 which: str = "first"):
+        if direction not in ("after", "before"):
+            raise InputError(f"bad direction {direction!r}")
+        if which not in ("first", "last", "all"):
+            raise InputError(f"bad occurrence selector {which!r}")
+        self.variable = variable
+        self.match = match
+        self.regex = regex
+        self.direction = direction
+        self.word = word
+        self.which = which
+
+    @property
+    def provides(self) -> tuple[str, ...]:
+        return (self.variable,)
+
+    def _content_of(self, source: SourceText, hit) -> str:
+        if self.regex and hit.match and hit.match.groups():
+            raw = hit.match.group(1)
+        elif self.direction == "after":
+            raw = source.after(hit)
+        else:
+            raw = source.before(hit)
+        if self.word is not None:
+            words = raw.split()
+            if self.word >= len(words):
+                raise InputError(
+                    f"line {hit.line_index + 1} of {source.filename}: "
+                    f"no word {self.word} after match {self.match!r}")
+            raw = words[self.word]
+        return raw
+
+    def extract(self, source: SourceText, run: RunData,
+                variables: VariableSet) -> None:
+        var = self._var(variables, self.variable)
+        hits = list(source.find(self.match, regex=self.regex))
+        if not hits:
+            return
+        if self.which == "all":
+            if var.occurrence is not Occurrence.MULTIPLE:
+                raise InputError(
+                    f"named location with which='all' needs a multiple-"
+                    f"occurrence variable, {var.name!r} is once")
+            for hit in hits:
+                run.datasets.append(
+                    {var.name: var.parse(self._content_of(source, hit))})
+            return
+        hit = hits[-1] if self.which == "last" else hits[0]
+        run.once[var.name] = var.parse(self._content_of(source, hit))
+
+
+class FixedLocation(Location):
+    """Content at a fixed row and column.
+
+    ``row`` is the 1-based line number (negative counts from the file
+    end, ``-1`` being the last line); ``column`` the 1-based whitespace-
+    separated field.  ``column=0`` takes the entire line.
+    """
+
+    def __init__(self, variable: str, row: int, column: int = 0):
+        if row == 0:
+            raise InputError("row is 1-based; 0 is not a valid row")
+        self.variable = variable
+        self.row = row
+        self.column = column
+
+    @property
+    def provides(self) -> tuple[str, ...]:
+        return (self.variable,)
+
+    def extract(self, source: SourceText, run: RunData,
+                variables: VariableSet) -> None:
+        var = self._var(variables, self.variable)
+        index = self.row - 1 if self.row > 0 else self.row
+        try:
+            line = source.line(index)
+        except IndexError:
+            return
+        if self.column == 0:
+            raw = line
+        else:
+            fields = line.split()
+            if self.column > len(fields):
+                return
+            raw = fields[self.column - 1]
+        run.once[var.name] = var.parse(raw)
+
+
+class TabularColumn:
+    """One column of a tabular location: variable name + 1-based field
+    index in the table rows."""
+
+    def __init__(self, variable: str, field: int):
+        if field < 1:
+            raise InputError("tabular column fields are 1-based")
+        self.variable = variable
+        self.field = field
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TabularColumn({self.variable!r}, {self.field})"
+
+
+class TabularLocation(Location):
+    """A table of data sets.
+
+    The table starts ``offset`` lines after the line matching ``start``
+    (default offset 1: the line right after the match).  Each table line
+    is whitespace-split; every :class:`TabularColumn` must parse in the
+    declared datatype for the line to count as a table row.
+
+    ``on_mismatch`` controls what a non-parsing line does: ``"stop"``
+    ends the table (default), ``"skip"`` tolerates up to ``max_skip``
+    consecutive such lines (needed for files that interleave summary
+    rows with data rows, like ``b_eff_io``'s ``total-write`` lines).
+    An optional literal/regex ``stop`` match ends the table early.
+    """
+
+    def __init__(self, columns: Sequence[TabularColumn], *,
+                 start: str | None = None, regex: bool = False,
+                 offset: int = 1, stop: str | None = None,
+                 stop_regex: bool = False, on_mismatch: str = "stop",
+                 max_skip: int = 5, max_rows: int | None = None):
+        if not columns:
+            raise InputError("tabular location needs at least one column")
+        if on_mismatch not in ("stop", "skip"):
+            raise InputError(f"bad on_mismatch {on_mismatch!r}")
+        self.columns = list(columns)
+        self.start = start
+        self.regex = regex
+        self.offset = offset
+        self.stop = stop
+        self.stop_regex = stop_regex
+        self.on_mismatch = on_mismatch
+        self.max_skip = max_skip
+        self.max_rows = max_rows
+
+    @property
+    def provides(self) -> tuple[str, ...]:
+        return tuple(c.variable for c in self.columns)
+
+    def _parse_row(self, line: str,
+                   variables: VariableSet) -> dict[str, Any] | None:
+        fields = line.split()
+        if not fields:
+            return None
+        row: dict[str, Any] = {}
+        for col in self.columns:
+            if col.field > len(fields):
+                return None
+            var = variables[col.variable]
+            try:
+                row[var.name] = var.parse(fields[col.field - 1])
+            except DataTypeError:
+                return None
+        return row
+
+    def extract(self, source: SourceText, run: RunData,
+                variables: VariableSet) -> None:
+        for col in self.columns:
+            var = variables[col.variable]
+            if var.occurrence is not Occurrence.MULTIPLE:
+                raise InputError(
+                    f"tabular location column {var.name!r} must be a "
+                    "multiple-occurrence variable")
+        if self.start is not None:
+            hit = source.first(self.start, regex=self.regex)
+            if hit is None:
+                return
+            first_line = hit.line_index + self.offset
+        else:
+            first_line = self.offset - 1 if self.offset > 0 else 0
+        stop_re = (re.compile(self.stop)
+                   if self.stop and self.stop_regex else None)
+        skipped = 0
+        n_rows = 0
+        for i in range(max(first_line, 0), len(source)):
+            line = source.line(i)
+            if self.stop is not None:
+                ended = (stop_re.search(line) if stop_re
+                         else self.stop in line)
+                if ended:
+                    break
+            row = self._parse_row(line, variables)
+            if row is None:
+                if self.on_mismatch == "stop":
+                    if n_rows:  # blank/garbage after table body ends it
+                        break
+                    continue  # still before the table body
+                skipped += 1
+                if skipped > self.max_skip:
+                    break
+                continue
+            skipped = 0
+            run.datasets.append(row)
+            n_rows += 1
+            if self.max_rows is not None and n_rows >= self.max_rows:
+                break
+
+
+class FilenameLocation(Location):
+    """Content extracted from the input file's name.
+
+    Either a ``pattern`` regex with one capture group is applied to the
+    basename, or the basename (with extension stripped) is split at
+    ``separator`` and the 0-based ``part`` selected — matching the
+    paper's example of encoding file system type and node count in the
+    output filename (Section 5).
+    """
+
+    def __init__(self, variable: str, *, pattern: str | None = None,
+                 separator: str = "_", part: int | None = None):
+        if (pattern is None) == (part is None):
+            raise InputError(
+                "filename location needs exactly one of pattern= or part=")
+        self.variable = variable
+        self.pattern = re.compile(pattern) if pattern else None
+        self.separator = separator
+        self.part = part
+
+    @property
+    def provides(self) -> tuple[str, ...]:
+        return (self.variable,)
+
+    def extract(self, source: SourceText, run: RunData,
+                variables: VariableSet) -> None:
+        var = self._var(variables, self.variable)
+        base = os.path.basename(source.filename)
+        stem = base.rsplit(".", 1)[0] if "." in base else base
+        if self.pattern is not None:
+            m = self.pattern.search(base)
+            if not m:
+                return
+            raw = m.group(1) if m.groups() else m.group(0)
+        else:
+            parts = stem.split(self.separator)
+            if self.part >= len(parts):
+                return
+            raw = parts[self.part]
+        run.once[var.name] = var.parse(raw)
+
+
+class FixedValue(Location):
+    """A constant value independent of the data files (XML-defined or
+    overridden from the command line)."""
+
+    def __init__(self, variable: str, value: Any):
+        self.variable = variable
+        self.value = value
+
+    @property
+    def provides(self) -> tuple[str, ...]:
+        return (self.variable,)
+
+    def extract(self, source: SourceText, run: RunData,
+                variables: VariableSet) -> None:
+        var = self._var(variables, self.variable)
+        run.once[var.name] = var.coerce(self.value)
+
+
+class DerivedParameter(Location):
+    """A parameter computed from other parameters by an arithmetic
+    expression, e.g. total data volume from chunk size times process
+    count.
+
+    Once-variables are computed from the once-content after all other
+    locations ran; if the expression references any multiple-occurrence
+    variable, the target must be multiple too and the value is computed
+    per data set.
+    """
+
+    def __init__(self, variable: str, expression: str):
+        self.variable = variable
+        self.expression = Expression(expression)
+
+    @property
+    def provides(self) -> tuple[str, ...]:
+        return (self.variable,)
+
+    def extract(self, source: SourceText, run: RunData,
+                variables: VariableSet) -> None:
+        var = self._var(variables, self.variable)
+        needs = self.expression.variables
+        uses_multi = any(
+            n in variables and
+            variables[n].occurrence is Occurrence.MULTIPLE
+            for n in needs)
+        if uses_multi:
+            if var.occurrence is not Occurrence.MULTIPLE:
+                raise InputError(
+                    f"derived once-parameter {var.name!r} cannot depend "
+                    "on multiple-occurrence variables")
+            for ds in run.datasets:
+                env = dict(run.once)
+                env.update(ds)
+                if needs <= env.keys():
+                    ds[var.name] = var.coerce(self.expression(env))
+        else:
+            if needs <= run.once.keys():
+                run.once[var.name] = var.coerce(
+                    self.expression(run.once))

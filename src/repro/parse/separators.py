@@ -1,0 +1,74 @@
+"""Run separators: splitting one input file into several runs.
+
+Section 3.2: "a single input file may contain data of multiple runs.
+The separation of these runs can be defined by a run separator." —
+Fig. 1 case b).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .source import SourceText
+
+__all__ = ["RunSeparator"]
+
+
+class RunSeparator:
+    """Splits a :class:`SourceText` into per-run chunks.
+
+    A chunk starts at (or right after) a line matching ``match``.
+
+    Parameters
+    ----------
+    match:
+        Literal string or regex identifying separator lines.
+    regex:
+        Whether ``match`` is a regular expression.
+    keep_line:
+        If true (default) the separator line *begins* the next run (it
+        usually carries content, e.g. a benchmark banner); if false it
+        is dropped entirely.
+    leading:
+        What to do with lines before the first separator: ``"discard"``
+        (default — usually preamble) or ``"run"`` (they form a run of
+        their own).
+    """
+
+    def __init__(self, match: str, *, regex: bool = False,
+                 keep_line: bool = True, leading: str = "discard"):
+        if leading not in ("discard", "run"):
+            raise ValueError(f"bad leading policy {leading!r}")
+        self.match = match
+        self.regex = regex
+        self.keep_line = keep_line
+        self.leading = leading
+
+    def _is_separator(self, line: str) -> bool:
+        if self.regex:
+            return re.search(self.match, line) is not None
+        return self.match in line
+
+    def split(self, source: SourceText) -> list[SourceText]:
+        """Split into chunk sources; each chunk keeps the filename."""
+        boundaries = [i for i, line in enumerate(source.lines)
+                      if self._is_separator(line)]
+        if not boundaries:
+            return [source]
+        chunks: list[SourceText] = []
+        if self.leading == "run" and boundaries[0] > 0:
+            chunks.append(self._chunk(source, 0, boundaries[0]))
+        for n, start in enumerate(boundaries):
+            end = boundaries[n + 1] if n + 1 < len(boundaries) else len(source)
+            begin = start if self.keep_line else start + 1
+            chunks.append(self._chunk(source, begin, end))
+        return chunks
+
+    @staticmethod
+    def _chunk(source: SourceText, start: int, end: int) -> SourceText:
+        text = "\n".join(source.lines[start:end])
+        return SourceText(text, source.filename)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "regex" if self.regex else "literal"
+        return f"RunSeparator({kind} {self.match!r})"

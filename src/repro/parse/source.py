@@ -1,0 +1,78 @@
+"""Source-text abstraction handed to location extractors.
+
+A :class:`SourceText` wraps the lines of (one run's chunk of) an input
+file together with the originating filename, and provides the small
+search vocabulary all location classes share: literal or regex matching
+with match offsets.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+__all__ = ["SourceText", "MatchHit"]
+
+
+class MatchHit:
+    """One hit of a literal/regex match within a source text."""
+
+    __slots__ = ("line_index", "start", "end", "match")
+
+    def __init__(self, line_index: int, start: int, end: int,
+                 match: re.Match | None = None):
+        self.line_index = line_index
+        #: character offsets of the matched text within its line
+        self.start = start
+        self.end = end
+        #: the regex match object (None for literal matches)
+        self.match = match
+
+
+class SourceText:
+    """Lines of one input chunk plus the filename they came from."""
+
+    def __init__(self, text: str, filename: str = "<input>"):
+        self.filename = filename
+        self.lines: list[str] = text.splitlines()
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def line(self, index: int) -> str:
+        """Line by 0-based index; negative indices count from the end."""
+        return self.lines[index]
+
+    def find(self, pattern: str, *, regex: bool = False,
+             start_line: int = 0) -> Iterator[MatchHit]:
+        """Yield every hit of ``pattern`` from ``start_line`` on.
+
+        Literal patterns hit at most once per line (first occurrence);
+        regex patterns yield one hit per line as well (use groups to
+        capture parts).
+        """
+        if regex:
+            compiled = re.compile(pattern)
+            for i in range(start_line, len(self.lines)):
+                m = compiled.search(self.lines[i])
+                if m:
+                    yield MatchHit(i, m.start(), m.end(), m)
+        else:
+            for i in range(start_line, len(self.lines)):
+                pos = self.lines[i].find(pattern)
+                if pos >= 0:
+                    yield MatchHit(i, pos, pos + len(pattern))
+
+    def first(self, pattern: str, *, regex: bool = False,
+              start_line: int = 0) -> MatchHit | None:
+        """First hit or ``None``."""
+        return next(self.find(pattern, regex=regex,
+                              start_line=start_line), None)
+
+    def after(self, hit: MatchHit) -> str:
+        """Text behind the match on the same line."""
+        return self.lines[hit.line_index][hit.end:]
+
+    def before(self, hit: MatchHit) -> str:
+        """Text in front of the match on the same line."""
+        return self.lines[hit.line_index][:hit.start]

@@ -1,0 +1,107 @@
+"""Query element base class and execution context.
+
+Section 3.3 / Fig. 2: a query wires instances of four element kinds —
+*source*, *operator*, *combiner*, *output* — by "assigning the output of
+one element to be the input of another one".  Section 4.1: all element
+kinds are "mapped onto respective class implementations based on a
+common base class".
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..core.errors import QueryError
+from ..core.experiment import Experiment
+from ..db.backend import Database
+from ..db.temptables import TempTableManager
+from .vectors import DataVector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..parallel.profiling import QueryProfile
+
+__all__ = ["QueryContext", "QueryElement"]
+
+
+@dataclass
+class QueryContext:
+    """Everything an element needs while executing.
+
+    ``db`` is the database holding the temp tables — in the serial
+    engine it is the experiment's own database (exactly the paper's
+    setup); the parallel executor points elements at per-node databases
+    instead.
+    """
+
+    experiment: Experiment
+    db: Database
+    temptables: TempTableManager
+    #: output vectors of already-executed elements, by element name
+    vectors: dict[str, DataVector] = field(default_factory=dict)
+    #: optional per-element timing collector
+    profile: "QueryProfile | None" = None
+
+    def vector_of(self, element_name: str) -> DataVector:
+        try:
+            return self.vectors[element_name]
+        except KeyError:
+            raise QueryError(
+                f"element {element_name!r} has not produced a vector yet "
+                "(is the query graph wired correctly?)") from None
+
+
+class QueryElement(abc.ABC):
+    """Base class of source, operator, combiner and output elements.
+
+    ``name`` identifies the element inside its query; ``inputs`` holds
+    the names of the elements whose output vectors this element
+    consumes (empty for sources).
+    """
+
+    #: subclass tag used by the XML parser and progress display
+    kind: str = "element"
+
+    def __init__(self, name: str, inputs: list[str] | None = None):
+        if not name:
+            raise QueryError("query element needs a non-empty name")
+        self.name = name
+        self.inputs: list[str] = list(inputs or [])
+
+    @abc.abstractmethod
+    def run(self, ctx: QueryContext) -> DataVector | None:
+        """Produce this element's output vector (or, for output
+        elements, a rendered artefact registered on the query)."""
+
+    def execute(self, ctx: QueryContext) -> DataVector | None:
+        """Run with timing; stores the vector in the context."""
+        start = time.perf_counter()
+        vector = self.run(ctx)
+        elapsed = time.perf_counter() - start
+        if ctx.profile is not None:
+            rows = vector.n_rows if vector is not None else 0
+            cols = len(vector.columns) if vector is not None else 0
+            ctx.profile.record(self.name, self.kind, elapsed, rows,
+                               cols)
+        if vector is not None:
+            ctx.vectors[self.name] = vector
+        return vector
+
+    def input_vectors(self, ctx: QueryContext) -> list[DataVector]:
+        return [ctx.vector_of(name) for name in self.inputs]
+
+    def _require_inputs(self, n_min: int, n_max: int | None = None) -> None:
+        n = len(self.inputs)
+        if n < n_min or (n_max is not None and n > n_max):
+            span = (f"exactly {n_min}" if n_max == n_min
+                    else f"between {n_min} and {n_max}"
+                    if n_max is not None else f"at least {n_min}")
+            raise QueryError(
+                f"{self.kind} element {self.name!r} needs {span} input "
+                f"element(s), got {n}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{type(self).__name__}({self.name!r}, "
+                f"inputs={self.inputs})")

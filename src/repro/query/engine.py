@@ -1,0 +1,93 @@
+"""Serial query execution engine.
+
+Executes a :class:`~repro.query.graph.QueryGraph` against one
+experiment, exactly the way Section 4.2 describes: all temp tables live
+in the experiment's own database and elements run one after another in
+topological order.  The parallel executor (:mod:`repro.parallel`)
+reuses the same elements with per-node databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.access import UserClass
+from ..core.experiment import Experiment
+from ..db.temptables import TempTableManager
+from ..output.base import Artifact
+from .elements import QueryContext, QueryElement
+from .graph import QueryGraph
+from .vectors import DataVector
+
+__all__ = ["Query", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """Everything a query run produced."""
+
+    #: rendered artefacts of all output elements, in element order
+    artifacts: list[Artifact] = field(default_factory=list)
+    #: final vectors by element name (outputs excluded — they render)
+    vectors: dict[str, DataVector] = field(default_factory=dict)
+    #: per-element timing, if profiling was requested
+    profile: "object | None" = None
+
+    def artifact(self, name: str) -> Artifact:
+        for a in self.artifacts:
+            if a.name == name:
+                return a
+        raise KeyError(name)
+
+    def write_all(self, directory: str) -> list[str]:
+        """Write every artefact below ``directory``; returns paths."""
+        return [a.write_to(directory) for a in self.artifacts]
+
+
+class Query:
+    """A named query: elements + execution entry point."""
+
+    def __init__(self, elements: Iterable[QueryElement],
+                 name: str = "query"):
+        self.name = name
+        self.graph = QueryGraph(elements)
+
+    @property
+    def elements(self) -> dict[str, QueryElement]:
+        return self.graph.elements
+
+    def execute(self, experiment: Experiment, *,
+                profile: bool = False,
+                keep_temp_tables: bool = False) -> QueryResult:
+        """Run the query serially against ``experiment``.
+
+        The acting user needs query access.  Temp tables are dropped on
+        completion unless ``keep_temp_tables`` (final vectors are then
+        still readable by the caller, e.g. for tests).
+        """
+        experiment.access.check(experiment.user, UserClass.QUERY,
+                                f"execute query {self.name!r}")
+        db = experiment.store.db
+        temptables = TempTableManager(db, prefix=f"pbq_{_safe(self.name)}")
+        prof = None
+        if profile:
+            from ..parallel.profiling import QueryProfile
+            prof = QueryProfile(query_name=self.name)
+        ctx = QueryContext(experiment=experiment, db=db,
+                           temptables=temptables, profile=prof)
+        result = QueryResult(profile=prof)
+        try:
+            for element in self.graph.topological_order():
+                element.execute(ctx)
+            for output in self.graph.outputs:
+                result.artifacts.extend(output.artifacts)
+            result.vectors = dict(ctx.vectors)
+        finally:
+            if not keep_temp_tables:
+                temptables.drop_all()
+        return result
+
+
+def _safe(name: str) -> str:
+    return "".join(ch if ch.isalnum() else "_" for ch in name)

@@ -1,0 +1,641 @@
+"""The operator element: operations and relations on vector tuples.
+
+Section 3.3.2 defines four operator families:
+
+* **statistical** — ``avg``, ``stddev``, ``variance``, ``count`` (we add
+  ``median``), "applied on exactly one input vector";
+* **reductions** — ``min``, ``max``, ``prod`` (we add ``sum``),
+  applicable "to any number of input vectors";
+* **arithmetic** — ``eval`` (arbitrary expressions), ``scale`` and
+  ``offset`` (linear functions), any number of inputs;
+* **two-vector relations** — ``diff``, ``div`` (subtraction/division)
+  and ``percentof``, ``above``, ``below`` (relative comparisons).
+
+and three modes of operation "automatically differentiated by the number
+and type of the input vectors and the type of the operator":
+
+1. *data set aggregation* — the input vector "stems from a source
+   element": aggregate result values over tuples with identical input
+   parameter sets (SQL ``GROUP BY`` over all parameter columns);
+2. *full reduction* — a single non-source input vector: "reduce all
+   elements of the vector into a single element" (one output row);
+3. *element-wise* — more than one input vector: element-wise reduction
+   of the vectors into a single output vector (SQL join on the shared
+   parameter columns, positional when there are none).
+
+Aggregations and two-vector relations execute inside the SQL engine
+(Section 4.2: "use SQL database functionality for many of the operators,
+which results in better performance than to process the data within a
+Python script"); ``eval`` fetches columns into numpy.  A pure-Python
+fallback path (``use_sql=False``) exists for the E8 ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Sequence
+
+import numpy as np
+
+from ..core.datatypes import DataType, sql_type
+from ..core.errors import OperatorError, QueryError
+from ..core.units import DIMENSIONLESS, Unit
+from ..db.backend import quote_identifier
+from ..expr import Expression
+from .elements import QueryContext, QueryElement
+from .vectors import ColumnInfo, DataVector
+
+__all__ = ["Operator", "STATISTICAL", "REDUCTIONS", "ARITHMETIC",
+           "TWO_VECTOR", "ALL_OPERATORS"]
+
+STATISTICAL = ("avg", "stddev", "variance", "count", "median")
+REDUCTIONS = ("min", "max", "prod", "sum")
+ARITHMETIC = ("eval", "scale", "offset")
+TWO_VECTOR = ("diff", "div", "percentof", "above", "below")
+#: transforms beyond the paper's list (its Section 6 plans "more
+#: operators"): row filtering by expression, normalisation, and
+#: unit conversion
+TRANSFORMS = ("filter", "norm", "convert")
+ALL_OPERATORS = (STATISTICAL + REDUCTIONS + ARITHMETIC + TWO_VECTOR
+                 + TRANSFORMS)
+
+#: SQL aggregate expression per operator (column substituted for {c})
+_SQL_AGG = {
+    "avg": "AVG({c})",
+    "stddev": "pb_stddev({c})",
+    "variance": "pb_variance({c})",
+    "count": "COUNT({c})",
+    "median": "pb_median({c})",
+    "min": "MIN({c})",
+    "max": "MAX({c})",
+    "prod": "pb_product({c})",
+    "sum": "SUM({c})",
+}
+
+#: numpy reduction per operator for the element-wise and Python paths
+_NP_AGG = {
+    "avg": lambda a: float(np.mean(a)),
+    "stddev": lambda a: float(np.std(a, ddof=1)) if len(a) > 1 else 0.0,
+    "variance": lambda a: float(np.var(a, ddof=1)) if len(a) > 1 else 0.0,
+    "count": lambda a: int(len(a)),
+    "median": lambda a: float(np.median(a)),
+    "min": lambda a: float(np.min(a)),
+    "max": lambda a: float(np.max(a)),
+    "prod": lambda a: float(np.prod(a)),
+    "sum": lambda a: float(np.sum(a)),
+}
+
+#: SQL expression for two-vector relations ({a}: left, {b}: right)
+_SQL_BINARY = {
+    "diff": "({a} - {b})",
+    "div": "(CAST({a} AS REAL) / {b})",
+    "percentof": "(100.0 * {a} / {b})",
+    "above": "(100.0 * ({a} - {b}) / {b})",
+    "below": "(100.0 * ({b} - {a}) / {b})",
+}
+
+_PERCENT_UNIT = Unit.base("percent")
+
+
+class Operator(QueryElement):
+    """One ``<operator>`` element.
+
+    Parameters
+    ----------
+    name:
+        Element name within the query.
+    op:
+        Operator type (one of :data:`ALL_OPERATORS`).
+    inputs:
+        Names of producing elements.
+    expression:
+        For ``eval`` (arithmetic over the input result column names)
+        and ``filter`` (rows are kept where it evaluates truthy).
+    factor / summand:
+        For ``scale`` / ``offset``.
+    mode:
+        For ``norm``: divide each numeric result column by its ``max``
+        (default), ``sum``, ``min`` or ``first`` value.
+    unit:
+        For ``convert``: target unit (a :class:`Unit` or its textual
+        form, e.g. ``"MB/s"``); compatible result columns are converted,
+        others pass through unchanged.
+    use_sql:
+        Process in the SQL engine where possible (default); the Python
+        path exists for the SQL-vs-Python ablation.
+    """
+
+    kind = "operator"
+
+    def __init__(self, name: str, op: str,
+                 inputs: Sequence[str] = (), *,
+                 expression: str | None = None,
+                 factor: float = 1.0,
+                 summand: float = 0.0,
+                 mode: str = "max",
+                 unit: "Unit | str | None" = None,
+                 result_name: str | None = None,
+                 use_sql: bool = True):
+        super().__init__(name, list(inputs))
+        if op not in ALL_OPERATORS:
+            raise OperatorError(
+                f"unknown operator type {op!r} "
+                f"(known: {', '.join(ALL_OPERATORS)})")
+        self.op = op
+        self.expression = Expression(expression) if expression else None
+        if op in ("eval", "filter") and self.expression is None:
+            raise OperatorError(
+                f"operator {name!r}: {op} needs an expression")
+        self.factor = float(factor)
+        self.summand = float(summand)
+        if mode not in ("max", "min", "sum", "first"):
+            raise OperatorError(
+                f"operator {name!r}: unknown norm mode {mode!r}")
+        self.mode = mode
+        if op == "convert":
+            if unit is None:
+                raise OperatorError(
+                    f"operator {name!r}: convert needs a target unit")
+            self.unit = Unit.parse(unit) if isinstance(unit, str) \
+                else unit
+        else:
+            self.unit = None
+        self.result_name = result_name
+        self.use_sql = use_sql
+
+    # -- mode dispatch --------------------------------------------------
+
+    def run(self, ctx: QueryContext) -> DataVector:
+        if self.op in STATISTICAL:
+            self._require_inputs(1, 1)
+        elif self.op in TWO_VECTOR:
+            self._require_inputs(2, 2)
+        else:
+            self._require_inputs(1)
+        vectors = self.input_vectors(ctx)
+
+        if self.op in TWO_VECTOR:
+            return self._binary(ctx, vectors[0], vectors[1])
+        if self.op == "eval":
+            return self._eval(ctx, vectors)
+        if self.op in ("scale", "offset"):
+            return self._linear(ctx, vectors)
+        if self.op == "filter":
+            self._require_inputs(1, 1)
+            return self._filter(ctx, vectors[0])
+        if self.op == "norm":
+            self._require_inputs(1, 1)
+            return self._norm(ctx, vectors[0])
+        if self.op == "convert":
+            self._require_inputs(1, 1)
+            return self._convert(ctx, vectors[0])
+        # statistical / reductions
+        if len(vectors) == 1:
+            if vectors[0].from_source:
+                return self._aggregate(ctx, vectors[0])
+            return self._full_reduce(ctx, vectors[0])
+        return self._elementwise_reduce(ctx, vectors)
+
+    # -- output-column helpers ---------------------------------------------
+
+    def _agg_column(self, col: ColumnInfo) -> ColumnInfo:
+        synopsis = f"{self.op} of {col.synopsis or col.name}"
+        if self.op == "count":
+            return ColumnInfo(col.name, DataType.INTEGER, DIMENSIONLESS,
+                              synopsis, is_result=True)
+        datatype = (DataType.FLOAT if self.op in
+                    ("avg", "stddev", "variance", "median")
+                    else col.datatype)
+        return ColumnInfo(col.name, datatype, col.unit, synopsis,
+                          is_result=True)
+
+    @staticmethod
+    def _numeric_results(vector: DataVector,
+                         who: str) -> list[ColumnInfo]:
+        cols = [c for c in vector.results if c.datatype.is_numeric]
+        if not cols:
+            raise OperatorError(
+                f"{who}: input vector of {vector.producer!r} has no "
+                "numeric result columns")
+        return cols
+
+    # -- mode 1: data set aggregation ---------------------------------------
+
+    def _aggregate(self, ctx: QueryContext,
+                   vector: DataVector) -> DataVector:
+        """Aggregate result values over identical parameter sets."""
+        results = self._numeric_results(vector, f"operator {self.name!r}")
+        group = vector.parameters
+        out_cols = list(group) + [self._agg_column(c) for c in results]
+        table = ctx.temptables.new_table(
+            self.name,
+            [(c.name, sql_type(c.datatype)) for c in out_cols])
+
+        if self.use_sql:
+            gsel = [quote_identifier(c.name) for c in group]
+            aggs = [_SQL_AGG[self.op].format(c=quote_identifier(c.name))
+                    for c in results]
+            sql = (f"INSERT INTO {quote_identifier(table)} "
+                   f"SELECT {', '.join(gsel + aggs)} "
+                   f"FROM {quote_identifier(vector.table)}")
+            if gsel:
+                sql += " GROUP BY " + ", ".join(gsel)
+            ctx.db.execute(sql)
+        else:
+            self._aggregate_python(ctx, vector, group, results,
+                                   table, out_cols)
+        return DataVector(ctx.db, table, out_cols, producer=self.name)
+
+    def _aggregate_python(self, ctx: QueryContext, vector: DataVector,
+                          group: list[ColumnInfo],
+                          results: list[ColumnInfo], table: str,
+                          out_cols: list[ColumnInfo]) -> None:
+        """Pure-Python aggregation (E8 ablation reference path)."""
+        groups: dict[tuple, list[list[float]]] = {}
+        order: list[tuple] = []
+        gnames = [c.name for c in group]
+        rnames = [c.name for c in results]
+        for row in vector.dicts():
+            key = tuple(row[g] for g in gnames)
+            if key not in groups:
+                groups[key] = [[] for _ in rnames]
+                order.append(key)
+            for i, r in enumerate(rnames):
+                if row[r] is not None:
+                    groups[key][i].append(float(row[r]))
+        out_rows = []
+        for key in order:
+            aggs = []
+            for values in groups[key]:
+                if not values:
+                    aggs.append(None)
+                elif self.op == "stddev":
+                    aggs.append(statistics.stdev(values)
+                                if len(values) > 1 else 0.0)
+                elif self.op == "variance":
+                    aggs.append(statistics.variance(values)
+                                if len(values) > 1 else 0.0)
+                else:
+                    aggs.append(_NP_AGG[self.op](np.asarray(values)))
+            out_rows.append(list(key) + aggs)
+        if out_rows:
+            ctx.db.insert_rows(table, [c.name for c in out_cols], out_rows)
+
+    # -- mode 2: full vector reduction ---------------------------------------
+
+    def _full_reduce(self, ctx: QueryContext,
+                     vector: DataVector) -> DataVector:
+        """Reduce every result column of a single vector to one element."""
+        results = self._numeric_results(vector, f"operator {self.name!r}")
+        out_cols = [self._agg_column(c) for c in results]
+        table = ctx.temptables.new_table(
+            self.name, [(c.name, sql_type(c.datatype)) for c in out_cols])
+        if self.use_sql:
+            aggs = [_SQL_AGG[self.op].format(c=quote_identifier(c.name))
+                    for c in results]
+            ctx.db.execute(
+                f"INSERT INTO {quote_identifier(table)} "
+                f"SELECT {', '.join(aggs)} "
+                f"FROM {quote_identifier(vector.table)}")
+        else:
+            row = []
+            for c in results:
+                arr = vector.array(c.name)
+                arr = arr[~np.isnan(arr)]
+                row.append(None if arr.size == 0
+                           else _NP_AGG[self.op](arr))
+            ctx.db.insert_rows(table, [c.name for c in out_cols], [row])
+        return DataVector(ctx.db, table, out_cols, producer=self.name)
+
+    # -- mode 3: element-wise reduction over several vectors -------------------
+
+    def _elementwise_reduce(self, ctx: QueryContext,
+                            vectors: list[DataVector]) -> DataVector:
+        """Combine N vectors element-wise (e.g. max over branches)."""
+        joined, params, result_sets = _join(ctx, vectors, self.name)
+        n_results = min(len(rs) for rs in result_sets)
+        if n_results == 0:
+            raise OperatorError(
+                f"operator {self.name!r}: an input vector has no "
+                "numeric result columns")
+        base = result_sets[0][:n_results]
+        out_cols = list(params) + [self._agg_column(c) for c in base]
+        table = ctx.temptables.new_table(
+            self.name, [(c.name, sql_type(c.datatype)) for c in out_cols])
+        names = [c.name for c in out_cols]
+        rows = []
+        for jrow in joined:
+            out = list(jrow[:len(params)])
+            for i in range(n_results):
+                vals = [jrow[len(params) + v * n_results + i]
+                        for v in range(len(vectors))]
+                vals = [v for v in vals if v is not None]
+                out.append(None if not vals
+                           else _NP_AGG[self.op](np.asarray(
+                               [float(v) for v in vals])))
+            rows.append(out)
+        if rows:
+            ctx.db.insert_rows(table, names, rows)
+        return DataVector(ctx.db, table, out_cols, producer=self.name)
+
+    # -- arithmetic: scale / offset -------------------------------------------
+
+    def _linear(self, ctx: QueryContext,
+                vectors: list[DataVector]) -> DataVector:
+        """``scale``: multiply every numeric result by ``factor``;
+        ``offset``: add ``summand``.  Pure SQL SELECT expressions."""
+        outs = []
+        for vector in vectors:
+            results = self._numeric_results(
+                vector, f"operator {self.name!r}")
+            out_cols = list(vector.parameters) + [
+                ColumnInfo(c.name, DataType.FLOAT, c.unit,
+                           f"{self.op} of {c.synopsis or c.name}",
+                           is_result=True)
+                for c in results]
+            table = ctx.temptables.new_table(
+                self.name,
+                [(c.name, sql_type(c.datatype)) for c in out_cols])
+            sel = [quote_identifier(c.name) for c in vector.parameters]
+            for c in results:
+                col = quote_identifier(c.name)
+                if self.op == "scale":
+                    sel.append(f"({col} * {self.factor})")
+                else:
+                    sel.append(f"({col} + {self.summand})")
+            ctx.db.execute(
+                f"INSERT INTO {quote_identifier(table)} "
+                f"SELECT {', '.join(sel)} "
+                f"FROM {quote_identifier(vector.table)}")
+            outs.append(DataVector(ctx.db, table, out_cols,
+                                   producer=self.name))
+        if len(outs) == 1:
+            return outs[0]
+        # several inputs: concatenate the transformed vectors
+        return _concat(ctx, outs, self.name)
+
+    # -- arithmetic: eval ------------------------------------------------------
+
+    def _eval(self, ctx: QueryContext,
+              vectors: list[DataVector]) -> DataVector:
+        """Arbitrary expression over the result columns of the (joined)
+        input vectors, evaluated vectorised in numpy."""
+        assert self.expression is not None
+        joined, params, result_sets = _join(ctx, vectors, self.name)
+        env: dict[str, np.ndarray] = {}
+        offset = len(params)
+        col_infos: dict[str, ColumnInfo] = {}
+        for rs in result_sets:
+            for c in rs:
+                if c.name not in env:
+                    idx = offset
+                    env[c.name] = np.array(
+                        [np.nan if row[idx] is None else float(row[idx])
+                         for row in joined])
+                    col_infos[c.name] = c
+                offset += 1
+        # parameters are also usable in expressions (e.g. per-byte rates)
+        for i, p in enumerate(params):
+            if p.datatype.is_numeric and p.name not in env:
+                env[p.name] = np.array(
+                    [np.nan if row[i] is None else float(row[i])
+                     for row in joined])
+        missing = self.expression.variables - env.keys()
+        if missing:
+            raise OperatorError(
+                f"operator {self.name!r}: expression references unknown "
+                f"columns: {', '.join(sorted(missing))}")
+        n = len(joined)
+        values = self.expression(env) if n else np.array([])
+        values = np.broadcast_to(np.asarray(values, dtype=float),
+                                 (n,)).tolist() if n else []
+        name = self.result_name or "eval"
+        out_cols = list(params) + [
+            ColumnInfo(name, DataType.FLOAT, DIMENSIONLESS,
+                       f"eval({self.expression.source})", is_result=True)]
+        table = ctx.temptables.new_table(
+            self.name, [(c.name, sql_type(c.datatype)) for c in out_cols])
+        rows = [list(jrow[:len(params)]) + [values[i]]
+                for i, jrow in enumerate(joined)]
+        if rows:
+            ctx.db.insert_rows(table, [c.name for c in out_cols], rows)
+        return DataVector(ctx.db, table, out_cols, producer=self.name)
+
+    # -- two-vector relations ---------------------------------------------------
+
+    def _binary(self, ctx: QueryContext, left: DataVector,
+                right: DataVector) -> DataVector:
+        """diff/div/percentof/above/below, joined in SQL."""
+        lres = self._numeric_results(left, f"operator {self.name!r}")
+        rres = self._numeric_results(right, f"operator {self.name!r}")
+        n = min(len(lres), len(rres))
+        lres, rres = lres[:n], rres[:n]
+        common = [p.name for p in left.parameters
+                  if right.has_column(p.name)
+                  and not right.column(p.name).is_result]
+
+        if self.op == "diff":
+            def out_info(lc: ColumnInfo) -> ColumnInfo:
+                return ColumnInfo(lc.name, DataType.FLOAT, lc.unit,
+                                  f"diff of {lc.synopsis or lc.name}",
+                                  is_result=True)
+        else:
+            unit = (_PERCENT_UNIT if self.op in
+                    ("percentof", "above", "below") else DIMENSIONLESS)
+
+            def out_info(lc: ColumnInfo) -> ColumnInfo:
+                return ColumnInfo(lc.name, DataType.FLOAT, unit,
+                                  f"{self.op} of {lc.synopsis or lc.name}",
+                                  is_result=True)
+
+        out_cols = list(left.parameters) + [out_info(c) for c in lres]
+        table = ctx.temptables.new_table(
+            self.name, [(c.name, sql_type(c.datatype)) for c in out_cols])
+
+        lt, rt = (quote_identifier(left.table),
+                  quote_identifier(right.table))
+        sel = [f"a.{quote_identifier(p.name)}" for p in left.parameters]
+        for lc, rc in zip(lres, rres):
+            sel.append(_SQL_BINARY[self.op].format(
+                a=f"a.{quote_identifier(lc.name)}",
+                b=f"b.{quote_identifier(rc.name)}"))
+        if common:
+            cond = " AND ".join(
+                f"a.{quote_identifier(c)} = b.{quote_identifier(c)}"
+                for c in common)
+        else:
+            cond = "a.rowid = b.rowid"
+        ctx.db.execute(
+            f"INSERT INTO {quote_identifier(table)} "
+            f"SELECT {', '.join(sel)} FROM {lt} a JOIN {rt} b "
+            f"ON {cond}")
+        return DataVector(ctx.db, table, out_cols, producer=self.name)
+
+
+    # -- transforms: filter / norm / convert ------------------------------
+
+    def _filter(self, ctx: QueryContext,
+                vector: DataVector) -> DataVector:
+        """Keep rows where the expression evaluates truthy.
+
+        All columns (parameters and results) of the input pass through
+        unchanged; the expression may reference any numeric column.
+        """
+        assert self.expression is not None
+        out_cols = list(vector.columns)
+        table = ctx.temptables.new_table(
+            self.name, [(c.name, sql_type(c.datatype))
+                        for c in out_cols])
+        rows = vector.rows()
+        env: dict[str, np.ndarray] = {}
+        for i, c in enumerate(vector.columns):
+            if c.datatype.is_numeric:
+                env[c.name] = np.array(
+                    [np.nan if row[i] is None else float(row[i])
+                     for row in rows])
+        missing = self.expression.variables - env.keys()
+        if missing:
+            raise OperatorError(
+                f"operator {self.name!r}: filter expression references "
+                f"unknown or non-numeric columns: "
+                + ", ".join(sorted(missing)))
+        if rows:
+            keep = np.asarray(self.expression(env), dtype=bool)
+            keep = np.broadcast_to(keep, (len(rows),))
+            kept = [list(row) for row, k in zip(rows, keep) if k]
+            if kept:
+                ctx.db.insert_rows(
+                    table, [c.name for c in out_cols], kept)
+        return DataVector(ctx.db, table, out_cols,
+                          from_source=vector.from_source,
+                          producer=self.name)
+
+    def _norm(self, ctx: QueryContext,
+              vector: DataVector) -> DataVector:
+        """Normalise each numeric result column by its max/min/sum/
+        first value (SQL-side)."""
+        results = self._numeric_results(vector, f"operator {self.name!r}")
+        out_cols = list(vector.parameters) + [
+            ColumnInfo(c.name, DataType.FLOAT, DIMENSIONLESS,
+                       f"{c.synopsis or c.name} (normalised to "
+                       f"{self.mode})", is_result=True)
+            for c in results]
+        table = ctx.temptables.new_table(
+            self.name, [(c.name, sql_type(c.datatype))
+                        for c in out_cols])
+        src = quote_identifier(vector.table)
+        sel = [quote_identifier(p.name) for p in vector.parameters]
+        for c in results:
+            col = quote_identifier(c.name)
+            if self.mode == "first":
+                denom = (f"(SELECT {col} FROM {src} "
+                         "ORDER BY rowid LIMIT 1)")
+            else:
+                agg = {"max": "MAX", "min": "MIN",
+                       "sum": "SUM"}[self.mode]
+                denom = f"(SELECT {agg}({col}) FROM {src})"
+            sel.append(f"(CAST({col} AS REAL) / {denom})")
+        ctx.db.execute(
+            f"INSERT INTO {quote_identifier(table)} "
+            f"SELECT {', '.join(sel)} FROM {src}")
+        return DataVector(ctx.db, table, out_cols, producer=self.name)
+
+    def _convert(self, ctx: QueryContext,
+                 vector: DataVector) -> DataVector:
+        """Convert compatible result columns to the target unit
+        (Fig. 5: "Units are defined such that they can be converted
+        correctly")."""
+        assert self.unit is not None
+        out_cols: list[ColumnInfo] = list(vector.parameters)
+        sel = [quote_identifier(p.name) for p in vector.parameters]
+        converted = 0
+        for c in vector.results:
+            col = quote_identifier(c.name)
+            if c.datatype.is_numeric and c.unit.is_compatible(
+                    self.unit):
+                factor = c.unit.conversion_factor(self.unit)
+                out_cols.append(ColumnInfo(
+                    c.name, DataType.FLOAT, self.unit, c.synopsis,
+                    is_result=True))
+                sel.append(f"({col} * {factor!r})")
+                converted += 1
+            else:
+                out_cols.append(c)
+                sel.append(col)
+        if not converted:
+            raise OperatorError(
+                f"operator {self.name!r}: no result column of "
+                f"{vector.producer!r} is compatible with unit "
+                f"{self.unit.symbol!r}")
+        table = ctx.temptables.new_table(
+            self.name, [(c.name, sql_type(c.datatype))
+                        for c in out_cols])
+        ctx.db.execute(
+            f"INSERT INTO {quote_identifier(table)} "
+            f"SELECT {', '.join(sel)} "
+            f"FROM {quote_identifier(vector.table)}")
+        return DataVector(ctx.db, table, out_cols, producer=self.name)
+
+
+# -- shared vector joining --------------------------------------------------
+
+
+def _join(ctx: QueryContext, vectors: list[DataVector], who: str
+          ) -> tuple[list[tuple], list[ColumnInfo],
+                     list[list[ColumnInfo]]]:
+    """Join N vectors on their shared parameter columns.
+
+    Returns ``(rows, params, result_sets)`` where every row is the tuple
+    of the base vector's parameter values followed by each vector's
+    numeric result values in order.  With no shared parameters the join
+    is positional.
+    """
+    base = vectors[0]
+    params = list(base.parameters)
+    result_sets = [[c for c in v.results if c.datatype.is_numeric]
+                   for v in vectors]
+    if len(vectors) == 1:
+        names = ([p.name for p in params]
+                 + [c.name for c in result_sets[0]])
+        cols = ", ".join(quote_identifier(n) for n in names)
+        rows = ctx.db.fetchall(
+            f"SELECT {cols} FROM {quote_identifier(base.table)}")
+        return rows, params, result_sets
+
+    sel = [f"t0.{quote_identifier(p.name)}" for p in params]
+    for i, rs in enumerate(result_sets):
+        sel.extend(f"t{i}.{quote_identifier(c.name)}" for c in rs)
+    sql = (f"SELECT {', '.join(sel)} "
+           f"FROM {quote_identifier(base.table)} t0")
+    for i, v in enumerate(vectors[1:], start=1):
+        shared = [p.name for p in params if v.has_column(p.name)
+                  and not v.column(p.name).is_result]
+        if shared:
+            cond = " AND ".join(
+                f"t0.{quote_identifier(c)} = t{i}.{quote_identifier(c)}"
+                for c in shared)
+        else:
+            cond = f"t0.rowid = t{i}.rowid"
+        sql += f" JOIN {quote_identifier(v.table)} t{i} ON {cond}"
+    return ctx.db.fetchall(sql), params, result_sets
+
+
+def _concat(ctx: QueryContext, vectors: list[DataVector],
+            who: str) -> DataVector:
+    """Concatenate vectors with identical column layouts (UNION ALL)."""
+    base = vectors[0]
+    names = base.column_names
+    for v in vectors[1:]:
+        if v.column_names != names:
+            raise QueryError(
+                f"{who}: cannot concatenate vectors with different "
+                f"columns ({names} vs {v.column_names})")
+    table = ctx.temptables.new_table(
+        who, [(c.name, sql_type(c.datatype)) for c in base.columns])
+    cols = ", ".join(quote_identifier(n) for n in names)
+    union = " UNION ALL ".join(
+        f"SELECT {cols} FROM {quote_identifier(v.table)}"
+        for v in vectors)
+    ctx.db.execute(
+        f"INSERT INTO {quote_identifier(table)} {union}")
+    return DataVector(ctx.db, table, base.columns, producer=who)

@@ -1,0 +1,38 @@
+"""The output query element: renders its input vectors via an output
+format (Section 3.3.4)."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..output.base import Artifact, get_format
+from .elements import QueryContext, QueryElement
+from .vectors import DataVector
+
+__all__ = ["Output"]
+
+
+class Output(QueryElement):
+    """Terminal element: consumes vectors, produces artefacts.
+
+    The rendered :class:`~repro.output.base.Artifact` objects are
+    collected on the element (``artifacts``) and by the query engine.
+    """
+
+    kind = "output"
+
+    def __init__(self, name: str, inputs: Sequence[str] = (), *,
+                 format: str = "ascii",
+                 options: Mapping[str, Any] | None = None):
+        super().__init__(name, list(inputs))
+        self.format_name = format
+        self.options = dict(options or {})
+        self.options.setdefault("filename", name)
+        self.artifacts: list[Artifact] = []
+
+    def run(self, ctx: QueryContext) -> DataVector | None:
+        self._require_inputs(1)
+        vectors = self.input_vectors(ctx)
+        renderer = get_format(self.format_name, self.options)
+        self.artifacts = renderer.render(vectors)
+        return None

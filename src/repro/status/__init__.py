@@ -1,0 +1,16 @@
+"""Status retrieval (paper Section 3.4).
+
+"To manage an experiment, it is possible to list the runs contained by
+different criteria, display the content of selected variables or meta
+information, or see the actual content of variables for a run.  This
+allows to determine which parameter settings might still be missing for
+a parameter sweep."
+"""
+
+from .listing import list_runs, show_run, show_variable
+from .report import experiment_report
+from .sweep import SweepHole, missing_sweep_points, sweep_coverage
+
+__all__ = ["list_runs", "show_run", "show_variable",
+           "experiment_report", "SweepHole",
+           "missing_sweep_points", "sweep_coverage"]

@@ -1,0 +1,102 @@
+"""Run listing and content display."""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Any, Callable
+
+from ..core.datatypes import format_content
+from ..core.errors import DefinitionError
+from ..core.experiment import Experiment
+from ..core.run import RunRecord
+from ..core.variables import Occurrence
+
+__all__ = ["list_runs", "show_run", "show_variable"]
+
+
+def list_runs(experiment: Experiment, *,
+              since: datetime | None = None,
+              until: datetime | None = None,
+              where: dict[str, Any] | None = None,
+              predicate: Callable[[RunRecord], bool] | None = None
+              ) -> list[RunRecord]:
+    """List run records, filtered by creation time, once-content
+    equality (``where``) and/or an arbitrary predicate."""
+    records = []
+    for index in experiment.run_indices():
+        record = experiment.run_record(index)
+        if since is not None and record.created < since:
+            continue
+        if until is not None and record.created > until:
+            continue
+        if where and any(record.once.get(k) != v
+                         for k, v in where.items()):
+            continue
+        if predicate is not None and not predicate(record):
+            continue
+        records.append(record)
+    return records
+
+
+def show_run(experiment: Experiment, index: int,
+             *, max_datasets: int = 20) -> str:
+    """Human-readable rendering of one run's full content."""
+    run = experiment.load_run(index)
+    record = experiment.run_record(index)
+    variables = experiment.variables
+    lines = [f"run {index} of experiment {experiment.name!r}",
+             f"  created: {record.created}",
+             f"  source files: {', '.join(record.source_files) or '-'}",
+             f"  data sets: {record.n_datasets}", "  once content:"]
+    for var in variables.once():
+        value = run.once.get(var.name)
+        rendered = (format_content(value, var.datatype)
+                    if value is not None else "(no content)")
+        unit = f" {var.unit.symbol}" if var.unit.symbol else ""
+        lines.append(f"    {var.name} = {rendered}{unit}")
+    multi = variables.multiple()
+    if multi and run.datasets:
+        names = [v.name for v in multi]
+        lines.append("  data sets (first %d):" % min(
+            max_datasets, len(run.datasets)))
+        lines.append("    " + "  ".join(names))
+        for ds in run.datasets[:max_datasets]:
+            lines.append("    " + "  ".join(
+                format_content(ds.get(n), variables[n].datatype)
+                if ds.get(n) is not None else "-"
+                for n in names))
+        if len(run.datasets) > max_datasets:
+            lines.append(f"    ... {len(run.datasets) - max_datasets} "
+                         "more")
+    return "\n".join(lines) + "\n"
+
+
+def show_variable(experiment: Experiment, name: str,
+                  *, distinct: bool = False) -> list[Any]:
+    """The content of one variable across all runs.
+
+    Once-variables yield one value per run; multiple-variables the
+    concatenation of all data-set values.  With ``distinct``, unique
+    values in first-seen order.
+    """
+    variables = experiment.variables
+    if name not in variables:
+        raise DefinitionError(f"no variable named {name!r}")
+    var = variables[name]
+    values: list[Any] = []
+    for index in experiment.run_indices():
+        if var.occurrence is Occurrence.ONCE:
+            once = experiment.store.load_once(index)
+            if name in once:
+                values.append(once[name])
+        else:
+            for ds in experiment.store.load_datasets(index):
+                if name in ds:
+                    values.append(ds[name])
+    if distinct:
+        seen: list[Any] = []
+        for v in values:
+            if v not in seen:
+                seen.append(v)
+        return seen
+    return values

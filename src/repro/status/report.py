@@ -1,0 +1,118 @@
+"""Full experiment status report.
+
+Bundles the Section-3.4 status-retrieval views into one text document:
+meta information, the variable table, run statistics, per-parameter
+value coverage and data volume — the "what is in this experiment"
+answer for someone opening a colleague's database (the access problem
+of Section 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.datatypes import format_content
+from ..core.experiment import Experiment
+from ..core.variables import Occurrence
+
+__all__ = ["experiment_report"]
+
+
+def _distinct_with_counts(values: list[Any], datatype,
+                          limit: int = 8) -> str:
+    counts: dict[Any, int] = {}
+    order: list[Any] = []
+    for v in values:
+        if v not in counts:
+            order.append(v)
+        counts[v] = counts.get(v, 0) + 1
+    parts = [f"{format_content(v, datatype)} x{counts[v]}"
+             for v in order[:limit]]
+    if len(order) > limit:
+        parts.append(f"... {len(order) - limit} more")
+    return ", ".join(parts) if parts else "(no content)"
+
+
+def _numeric_range(values: list[Any]) -> str:
+    numbers = [float(v) for v in values
+               if isinstance(v, (int, float))
+               and not isinstance(v, bool)]
+    if not numbers:
+        return "(no content)"
+    lo, hi = min(numbers), max(numbers)
+    if lo == hi:
+        return f"{lo:g} (constant, {len(numbers)} samples)"
+    return f"{lo:g} .. {hi:g} ({len(numbers)} samples)"
+
+
+def experiment_report(experiment: Experiment, *,
+                      max_values: int = 8) -> str:
+    """Render the status report as plain text."""
+    info = experiment.info
+    variables = experiment.variables
+    indices = experiment.run_indices()
+    lines = [
+        f"experiment report: {experiment.name}",
+        "=" * (20 + len(experiment.name)),
+        f"synopsis    : {info.synopsis or '-'}",
+        f"project     : {info.project or '-'}",
+        f"performed by: {info.performed_by.name or '-'}"
+        + (f" ({info.performed_by.organization})"
+           if info.performed_by.organization else ""),
+        f"created     : {experiment.store.get_meta('created', '-')}",
+        f"runs        : {len(indices)}",
+    ]
+
+    total_datasets = 0
+    first = last = None
+    for index in indices:
+        record = experiment.run_record(index)
+        total_datasets += record.n_datasets
+        if first is None or record.created < first:
+            first = record.created
+        if last is None or record.created > last:
+            last = record.created
+    lines.append(f"data sets   : {total_datasets}")
+    if first is not None:
+        lines.append(f"time span   : {first} .. {last}")
+
+    lines.append("")
+    lines.append("variables")
+    lines.append("-" * 9)
+    for var in variables:
+        unit = f" [{var.unit.symbol}]" if var.unit.symbol else ""
+        lines.append(f"  {var.kind:<9} {var.name:<18} "
+                     f"{var.datatype.value:<9} "
+                     f"{var.occurrence.value:<8}{unit}"
+                     f"  {var.synopsis}")
+
+    if indices:
+        lines.append("")
+        lines.append("parameter coverage")
+        lines.append("-" * 18)
+        once_content: dict[str, list[Any]] = {
+            v.name: [] for v in variables.parameters}
+        multi_names = {v.name for v in variables.parameters
+                       if v.occurrence is Occurrence.MULTIPLE}
+        for index in indices:
+            once = experiment.store.load_once(index)
+            for name, value in once.items():
+                if name in once_content:
+                    once_content[name].append(value)
+        # multiple-occurrence coverage from the first few runs only
+        # (enough for distinct values, cheap on big experiments)
+        for index in indices[:10]:
+            for ds in experiment.store.load_datasets(index):
+                for name in multi_names:
+                    if name in ds:
+                        once_content[name].append(ds[name])
+        for var in variables.parameters:
+            values = once_content[var.name]
+            if var.datatype.is_numeric and len(set(values)) > max_values:
+                summary = _numeric_range(values)
+            else:
+                summary = _distinct_with_counts(values, var.datatype,
+                                                max_values)
+            lines.append(f"  {var.name:<18} {summary}")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,87 @@
+"""Parameter-sweep coverage analysis.
+
+Section 3.4: status retrieval "allows to determine which parameter
+settings might still be missing for a parameter sweep"; Section 1 lists
+as a core problem that "It is not easy to discover which dimensions of
+the parameter space have not yet been measured precisely enough".
+
+:func:`missing_sweep_points` takes the intended value grid per parameter
+and reports every combination without (enough) runs;
+:func:`sweep_coverage` reports the repetition count per combination, the
+basis for "measured precisely enough" decisions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..core.errors import DefinitionError
+from ..core.experiment import Experiment
+from ..core.variables import Occurrence
+
+__all__ = ["SweepHole", "missing_sweep_points", "sweep_coverage"]
+
+
+@dataclass(frozen=True)
+class SweepHole:
+    """One under-measured point of the sweep grid."""
+
+    point: tuple[tuple[str, Any], ...]
+    runs_found: int
+    runs_wanted: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.point)
+
+    def __str__(self) -> str:
+        settings = ", ".join(f"{k}={v}" for k, v in self.point)
+        return (f"{settings}: {self.runs_found}/{self.runs_wanted} runs")
+
+
+def _check_once(experiment: Experiment,
+                grid: Mapping[str, Sequence[Any]]) -> None:
+    variables = experiment.variables
+    for name in grid:
+        if name not in variables:
+            raise DefinitionError(f"no variable named {name!r}")
+        if variables[name].occurrence is not Occurrence.ONCE:
+            raise DefinitionError(
+                f"sweep analysis works on once-parameters; "
+                f"{name!r} has multiple occurrence")
+
+
+def sweep_coverage(experiment: Experiment,
+                   grid: Mapping[str, Sequence[Any]]
+                   ) -> dict[tuple[tuple[str, Any], ...], int]:
+    """Repetition count for every grid combination.
+
+    ``grid`` maps once-parameter names to the intended value lists,
+    e.g. ``{"technique": ["listbased", "listless"], "fs": ["ufs"]}``.
+    """
+    _check_once(experiment, grid)
+    variables = experiment.variables
+    coerced = {
+        name: [variables[name].coerce(v) for v in values]
+        for name, values in grid.items()}
+    names = list(coerced)
+    counts: dict[tuple[tuple[str, Any], ...], int] = {
+        tuple(zip(names, combo)): 0
+        for combo in itertools.product(*(coerced[n] for n in names))}
+    for index in experiment.run_indices():
+        once = experiment.store.load_once(index)
+        key = tuple((n, once.get(n)) for n in names)
+        if key in counts:
+            counts[key] += 1
+    return counts
+
+
+def missing_sweep_points(experiment: Experiment,
+                         grid: Mapping[str, Sequence[Any]],
+                         *, repetitions: int = 1) -> list[SweepHole]:
+    """Grid combinations with fewer than ``repetitions`` runs."""
+    coverage = sweep_coverage(experiment, grid)
+    return [SweepHole(point, found, repetitions)
+            for point, found in coverage.items()
+            if found < repetitions]

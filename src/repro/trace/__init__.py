@@ -1,0 +1,8 @@
+"""Binary trace processing (the paper's Section 6 future work,
+implemented): the PBT1 event-trace format and its importer."""
+
+from .format import MAGIC, Trace, TraceReader, TraceRecord, TraceWriter
+from .importer import TraceImportDescription, TraceImporter
+
+__all__ = ["MAGIC", "Trace", "TraceReader", "TraceRecord",
+           "TraceWriter", "TraceImportDescription", "TraceImporter"]

@@ -1,0 +1,26 @@
+"""Workload generators: the systems whose ASCII output perfbase manages.
+
+* :mod:`~repro.workloads.beffio` — the b_eff_io MPI-IO benchmark
+  simulator of the paper's Section 5 (output format of Fig. 4);
+* :mod:`~repro.workloads.beffio_assets` — the XML control files of
+  Figs. 5-7;
+* :mod:`~repro.workloads.mpibench` — MPI ping-pong latency/bandwidth;
+* :mod:`~repro.workloads.optionpricing` — the option-pricing simulation
+  the paper's introduction cites as a second application area;
+* :mod:`~repro.workloads.testsuite` — correctness test-suite logs.
+"""
+
+from .beffio import (ACCESS_TYPES, CHUNK_SIZES, PATTERNS, AccessType,
+                     BeffIOConfig, BeffIOSimulator, generate_campaign)
+from .mpibench import MESSAGE_SIZES, PingPongConfig, PingPongSimulator
+from .optionpricing import (MonteCarloPricer, OptionConfig,
+                            black_scholes_price)
+from .testsuite import DEFAULT_CASES, TestSuiteConfig, TestSuiteSimulator
+
+__all__ = [
+    "ACCESS_TYPES", "CHUNK_SIZES", "PATTERNS", "AccessType",
+    "BeffIOConfig", "BeffIOSimulator", "generate_campaign",
+    "MESSAGE_SIZES", "PingPongConfig", "PingPongSimulator",
+    "MonteCarloPricer", "OptionConfig", "black_scholes_price",
+    "DEFAULT_CASES", "TestSuiteConfig", "TestSuiteSimulator",
+]

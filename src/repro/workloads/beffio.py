@@ -1,0 +1,329 @@
+"""Synthetic ``b_eff_io`` benchmark (substitute for real MPI-IO runs).
+
+The paper's application example (Section 5) evaluates perfbase on the
+*Effective I/O Bandwidth Benchmark* ``b_eff_io`` [Rabenseifner et al.],
+whose summarising output file is shown in Fig. 4.  Real runs need an MPI
+cluster with parallel file systems; this module simulates the benchmark
+instead: a parametric performance model (filesystem, process count,
+access pattern, chunk size, non-contiguous I/O technique) plus
+log-normal noise produces bandwidth numbers, which are formatted into
+output files that are line-for-line compatible with Fig. 4.
+
+The model plants the paper's finding: with the *list-less* technique
+for non-contiguous I/O [Worringen et al., SC2003] large **read**
+accesses are ~60 % slower than with the old *list-based* technique —
+"In fact, this was a performance bug which we could then fix."
+(Section 5).  ``with_bug=False`` simulates the state after the fix.
+
+Only the ASCII output file ever reaches perfbase, so this exercises the
+identical parse/import/query code paths as real benchmark runs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+
+__all__ = ["AccessType", "ACCESS_TYPES", "CHUNK_SIZES", "PATTERNS",
+           "BeffIOConfig", "BeffIOSimulator", "generate_campaign"]
+
+#: the five access types of b_eff_io (columns of the Fig. 4 table)
+ACCESS_TYPES = ("scatter", "shared", "separate", "segmened", "seg-coll")
+
+#: the three access methods (row groups of the Fig. 4 table)
+PATTERNS = ("write", "rewrite", "read")
+
+#: the eight chunk sizes b_eff_io measures (bytes); the +8 variants are
+#: the "non-wellformed" sizes (1 MB + 8 B etc.)
+CHUNK_SIZES = (32, 1024, 1032, 32768, 32776, 1048576, 1048584, 2097152)
+
+#: relative weight of each chunk size in the weighted average (larger
+#: chunks transfer more data within the scheduled time)
+_CHUNK_WEIGHTS = (0.02, 0.04, 0.04, 0.10, 0.10, 0.20, 0.20, 0.30)
+
+
+class AccessType:
+    """Symbolic indices for the access-type columns."""
+
+    SCATTER = 0
+    SHARED = 1
+    SEPARATE = 2
+    SEGMENTED = 3
+    SEG_COLL = 4
+
+
+#: per-filesystem base bandwidth (MB/s per process, large contiguous
+#: write) and noise level (sigma of the log-normal factor)
+_FILESYSTEMS = {
+    "ufs": (20.0, 0.05),
+    "nfs": (8.0, 0.18),
+    "pvfs": (35.0, 0.10),
+    "sfs": (28.0, 0.08),
+}
+
+#: access-type efficiency relative to separate-file I/O
+_TYPE_FACTORS = {
+    AccessType.SCATTER: 0.75,
+    AccessType.SHARED: 0.60,
+    AccessType.SEPARATE: 1.00,
+    AccessType.SEGMENTED: 0.97,
+    AccessType.SEG_COLL: 0.85,
+}
+
+#: access types that use non-contiguous file views — the ones the
+#: list-based/list-less technique choice affects
+_NONCONTIG_TYPES = (AccessType.SCATTER, AccessType.SHARED,
+                    AccessType.SEG_COLL)
+
+
+@dataclass
+class BeffIOConfig:
+    """One ``b_eff_io`` execution's setup."""
+
+    n_procs: int = 4
+    n_nodes: int = 2
+    memory_per_proc_mb: int = 256
+    scheduled_time_min: float = 10.0
+    technique: str = "listless"        #: "listbased" | "listless"
+    filesystem: str = "ufs"
+    hostname: str = "grisu0.ccrl-nece.de"
+    os_name: str = "Linux"
+    os_release: str = "2.6.6"
+    os_version: str = "#1 SMP Tue Jun 22 14:37:05 CEST 2004"
+    machine: str = "i686"
+    path: str = "/tmp"
+    run_number: int = 1
+    date: datetime = field(
+        default_factory=lambda: datetime(2004, 11, 23, 18, 30, 30))
+    seed: int = 0
+    #: plant the list-less large-read regression the paper found
+    with_bug: bool = True
+
+    def __post_init__(self):
+        if self.technique not in ("listbased", "listless"):
+            raise ValueError(f"unknown technique {self.technique!r}")
+        if self.filesystem not in _FILESYSTEMS:
+            raise ValueError(
+                f"unknown filesystem {self.filesystem!r} "
+                f"(known: {', '.join(sorted(_FILESYSTEMS))})")
+
+    @property
+    def prefix(self) -> str:
+        """The PREFIX= value, encoding run metadata in the filename the
+        way Section 5 suggests ("Such information can be encoded in the
+        filename of the output file")."""
+        host = self.hostname.split(".")[0].rstrip("0123456789")
+        return (f"bio_T{int(self.scheduled_time_min)}_N{self.n_procs}"
+                f"_{self.technique}_{self.filesystem}_{host}"
+                f"_run{self.run_number}")
+
+    @property
+    def filename(self) -> str:
+        return f"{self.prefix}.sum"
+
+
+class BeffIOSimulator:
+    """Generates bandwidth numbers and Fig.-4-format output files."""
+
+    def __init__(self, config: BeffIOConfig):
+        self.config = config
+        # derive a process-independent seed (str hashes are salted, so
+        # hash() would break reproducibility across interpreter runs)
+        key = (f"{config.seed}:{config.n_procs}:{config.technique}:"
+               f"{config.filesystem}:{config.run_number}")
+        self._rng = random.Random(zlib.crc32(key.encode("ascii")))
+
+    # -- performance model ---------------------------------------------------
+
+    def bandwidth(self, pattern: str, access_type: int,
+                  chunk_size: int) -> float:
+        """Modelled accumulated bandwidth in MB/s (all processes).
+
+        Structure of the model:
+
+        * base per-process bandwidth from the filesystem,
+        * chunk-size ramp: tiny chunks are dominated by per-access
+          overhead, saturating around 1 MB,
+        * shared-file small-chunk contention (type 1 collapses for tiny
+          chunks, like the real Fig. 4 numbers),
+        * reads come from server/page cache: ~6-14x faster at large
+          chunks,
+        * rewrite slightly faster than write (no allocation),
+        * the technique effect: list-less improves non-contiguous
+          accesses by ~10 %, except the planted bug — large reads are
+          ~60 % *slower* (Fig. 8),
+        * log-normal noise ("I/O benchmarks feature a much higher
+          variance in the results").
+        """
+        cfg = self.config
+        base, sigma = _FILESYSTEMS[cfg.filesystem]
+        # aggregate over processes, with contention losses
+        procs_eff = cfg.n_procs ** 0.85
+        bw = base * procs_eff
+        # chunk-size ramp (per-access latency dominates small chunks)
+        latency_bytes = 24e3 if pattern != "read" else 6e3
+        ramp = chunk_size / (chunk_size + latency_bytes)
+        bw *= ramp
+        # access-type efficiency
+        bw *= _TYPE_FACTORS[access_type]
+        if access_type == AccessType.SHARED and chunk_size <= 1024:
+            bw *= 0.02 + 0.05 * (chunk_size / 1024.0)
+        if pattern == "read":
+            cache_speedup = 4.0 + 10.0 * (chunk_size /
+                                          (chunk_size + 3e4))
+            bw *= cache_speedup
+        elif pattern == "rewrite":
+            bw *= 1.12
+        # technique effect on non-contiguous accesses
+        if access_type in _NONCONTIG_TYPES:
+            if cfg.technique == "listless":
+                bw *= 1.10
+                if (cfg.with_bug and pattern == "read"
+                        and chunk_size >= 1048576):
+                    # the paper's performance bug: ~60 % slower
+                    bw *= 0.40 / 1.10
+        noise = math.exp(self._rng.gauss(0.0, sigma))
+        return bw * noise
+
+    def table(self) -> dict[tuple[str, int], list[float]]:
+        """All measured rows: (pattern, chunk_size) -> bandwidth per
+        access type."""
+        out: dict[tuple[str, int], list[float]] = {}
+        for pattern in PATTERNS:
+            for chunk in CHUNK_SIZES:
+                out[(pattern, chunk)] = [
+                    self.bandwidth(pattern, t, chunk)
+                    for t in range(len(ACCESS_TYPES))]
+        return out
+
+    @staticmethod
+    def weighted_average(rows: dict[tuple[str, int], list[float]],
+                         pattern: str) -> float:
+        total = 0.0
+        for (p, chunk), values in rows.items():
+            if p != pattern:
+                continue
+            w = _CHUNK_WEIGHTS[CHUNK_SIZES.index(chunk)]
+            total += w * (sum(values) / len(values))
+        return total
+
+    def b_eff_io(self, rows: dict[tuple[str, int], list[float]]
+                 ) -> float:
+        """The headline metric: average of the three weighted averages."""
+        return sum(self.weighted_average(rows, p)
+                   for p in PATTERNS) / len(PATTERNS)
+
+    # -- output file generation -------------------------------------------------
+
+    def generate(self) -> str:
+        """Render the summarising output file (format of Fig. 4)."""
+        cfg = self.config
+        rows = self.table()
+        lines: list[str] = []
+        mem = cfg.memory_per_proc_mb
+        lines.append(
+            f"MEMORY PER PROCESSOR = {mem} MBytes "
+            "[1MBytes = 1024*1024 bytes, 1MB = 1e6 bytes]")
+        lines.append("Maximum chunk size =      2.000 MBytes")
+        info = ("list-based_io.info" if cfg.technique == "listbased"
+                else "list-less_io.info")
+        lines.append(
+            f"-N {cfg.n_procs} T={int(cfg.scheduled_time_min)}, "
+            f"MT={mem * cfg.n_procs} MBytes -i {info}, -rewrite")
+        lines.append(f"PATH={cfg.path}, PREFIX={cfg.prefix}")
+        lines.append(f"      system name : {cfg.os_name}")
+        lines.append(f"      hostname : {cfg.hostname}")
+        lines.append(f"      OS release : {cfg.os_release}")
+        lines.append(f"      OS version : {cfg.os_version}")
+        lines.append(f"      machine : {cfg.machine}")
+        lines.append("Date of measurement: "
+                     + cfg.date.strftime("%a %b %d %H:%M:%S %Y"))
+        lines.append("")
+        lines.append(
+            f"Summary of file I/O bandwidth accumulated on "
+            f"{cfg.n_procs} processes with {mem} MByte/PE")
+        lines.append("number pos chunk- access type=0 type=1 type=2 "
+                     "type=3 type=4")
+        lines.append("of PEs size (1) methode scatter shared separate "
+                     "segmened seg-coll")
+        lines.append("         [bytes] methode [MB/s] [MB/s] [MB/s] "
+                     "[MB/s]")
+        for pattern in PATTERNS:
+            for pos, chunk in enumerate(CHUNK_SIZES, start=1):
+                values = rows[(pattern, chunk)]
+                cells = " ".join(f"{v:9.3f}" for v in values)
+                lines.append(
+                    f"{cfg.n_procs:3d} PEs {pos:2d} {chunk:8d} "
+                    f"{pattern:>7s} {cells}")
+            totals = [sum(rows[(pattern, c)][t] for c in CHUNK_SIZES)
+                      / len(CHUNK_SIZES)
+                      for t in range(len(ACCESS_TYPES))]
+            cells = " ".join(f"{v:9.3f}" for v in totals)
+            lines.append(
+                f"{cfg.n_procs:3d} PEs    total-{pattern:<8s}{cells}")
+        lines.append("")
+        lines.append("This table shows all results, except pattern 2 "
+                     "(scatter, l=1MBytes, L=2MBytes):")
+        pat2 = {p: rows[(p, 1048576)][AccessType.SCATTER]
+                for p in PATTERNS}
+        lines.append(
+            f" bw_pat2= {pat2['write']:7.3f} MB/s write, "
+            f"{pat2['rewrite']:7.3f} MB/s rewrite, "
+            f"{pat2['read']:7.3f} MB/s read")
+        for pattern in PATTERNS:
+            avg = self.weighted_average(rows, pattern)
+            colon = ":" if pattern != "write" else " :"
+            lines.append(
+                f"weighted average bandwidth for {pattern:<7s}{colon} "
+                f"{avg:.3f} MB/s on {cfg.n_procs} processes")
+        beff = self.b_eff_io(rows)
+        sched = cfg.scheduled_time_min / 50.0
+        lines.append(
+            f"b_eff_io of these measurements = {beff:.3f} MB/s on "
+            f"{cfg.n_procs} processes with {mem} MByte/PE and "
+            f"scheduled time={sched:.1f} min")
+        lines.append("Maximum over all number of PEs")
+        lines.append(
+            f"b_eff_io = {beff:.3f} MB/s on {cfg.n_procs} processes "
+            f"with {mem} MByte/PE, scheduled time={sched:.1f} Min, on "
+            f"{cfg.os_name} {cfg.hostname} {cfg.os_release} "
+            f"{cfg.os_version} {cfg.machine}, NOT VALID (see above)")
+        return "\n".join(lines) + "\n"
+
+
+def generate_campaign(*, techniques=("listbased", "listless"),
+                      filesystems=("ufs",), proc_counts=(4,),
+                      repetitions: int = 3, seed: int = 0,
+                      with_bug: bool = True,
+                      start_date: datetime | None = None
+                      ) -> list[tuple[str, str]]:
+    """A full measurement campaign as Section 5 describes ("We ran
+    b_eff_io on our cluster for a number of times in different
+    configurations concerning the number of nodes and processes and the
+    file system used").
+
+    Returns ``(filename, file_content)`` pairs ready for import.
+    """
+    start = start_date or datetime(2004, 11, 23, 18, 30, 30)
+    outputs: list[tuple[str, str]] = []
+    counter = 0
+    for technique in techniques:
+        for fs in filesystems:
+            for n_procs in proc_counts:
+                for rep in range(1, repetitions + 1):
+                    cfg = BeffIOConfig(
+                        n_procs=n_procs,
+                        n_nodes=max(1, n_procs // 2),
+                        technique=technique,
+                        filesystem=fs,
+                        run_number=rep,
+                        seed=seed + counter,
+                        with_bug=with_bug,
+                        date=start + timedelta(minutes=17 * counter))
+                    sim = BeffIOSimulator(cfg)
+                    outputs.append((cfg.filename, sim.generate()))
+                    counter += 1
+    return outputs

@@ -1,0 +1,240 @@
+"""The three XML control files of the paper's application example.
+
+Figs. 5-7 show (excerpts of) the experiment definition, input
+description and query specification for the ``b_eff_io`` experiment.
+This module ships complete versions of all three, as strings, so
+examples, tests and benchmarks can run the paper's exact workflow:
+
+* :func:`experiment_xml` — Fig. 5 (all variables, not just the excerpt),
+* :func:`input_xml` — Fig. 6 (parses the Fig. 4 output format of
+  :mod:`repro.workloads.beffio`),
+* :func:`fig8_query_xml` — Fig. 7 (relative performance difference of
+  the list-less vs. list-based non-contiguous I/O techniques, maximum
+  over all runs, rendered as a Gnuplot bar chart),
+* :func:`stddev_query_xml` — the average/standard-deviation check the
+  paper mentions running first ("we made sure that we gathered a
+  sufficient amount of data by having perfbase calculate the average
+  and standard deviation").
+"""
+
+from __future__ import annotations
+
+__all__ = ["experiment_xml", "input_xml", "fig8_query_xml",
+           "stddev_query_xml", "BANDWIDTH_RESULTS"]
+
+#: the five per-access-type bandwidth result columns
+BANDWIDTH_RESULTS = ("B_scatter", "B_shared", "B_separate",
+                     "B_segmented", "B_segcoll")
+
+
+def experiment_xml() -> str:
+    """Complete experiment definition (Fig. 5)."""
+    bandwidth_results = "\n".join(f"""\
+  <result>
+    <name>{name}</name>
+    <synopsis>bandwidth for access type {i} ({syn})</synopsis>
+    <datatype>float</datatype>
+    <unit> <fraction>
+      <dividend> <base_unit>byte</base_unit> <scaling>Mega</scaling> </dividend>
+      <divisor> <base_unit>s</base_unit> </divisor>
+    </fraction> </unit>
+  </result>""" for i, (name, syn) in enumerate(zip(
+        BANDWIDTH_RESULTS,
+        ("scatter", "shared", "separate", "segmented", "seg-coll"))))
+    summary_results = "\n".join(f"""\
+  <result occurrence="once">
+    <name>{name}</name>
+    <synopsis>{syn}</synopsis>
+    <datatype>float</datatype>
+    <unit> <fraction>
+      <dividend> <base_unit>byte</base_unit> <scaling>Mega</scaling> </dividend>
+      <divisor> <base_unit>s</base_unit> </divisor>
+    </fraction> </unit>
+  </result>""" for name, syn in (
+        ("B_write_avg", "weighted average bandwidth for write"),
+        ("B_rewrite_avg", "weighted average bandwidth for rewrite"),
+        ("B_read_avg", "weighted average bandwidth for read"),
+        ("b_eff_io", "effective I/O bandwidth of these measurements")))
+    return f"""\
+<experiment>
+  <name>b_eff_io</name>
+  <info>
+    <performed_by>
+      <name>Joachim Worringen</name>
+      <organization>C&amp;C Research Laboratories, NEC Europe Ltd.</organization>
+    </performed_by>
+    <project>Optimization of MPI I/O Operations</project>
+    <synopsis>Results of b_eff_io Benchmark</synopsis>
+    <description>We want to track the performance changes that we achieve
+      with new algorithms and parameter optimization of I/O operations.
+    </description>
+  </info>
+  <parameter occurrence="once">
+    <name>T</name>
+    <synopsis>specified runtime of the test</synopsis>
+    <datatype>integer</datatype>
+    <unit> <base_unit>s</base_unit> </unit>
+  </parameter>
+  <parameter occurrence="once">
+    <name>fs</name>
+    <synopsis>type of file system for the used path</synopsis>
+    <datatype>string</datatype>
+    <valid>ufs</valid> <valid>nfs</valid> <valid>pvfs</valid>
+    <valid>sfs</valid> <valid>unknown</valid>
+    <default>unknown</default>
+  </parameter>
+  <parameter occurrence="once">
+    <name>technique</name>
+    <synopsis>technique for non-contiguous I/O</synopsis>
+    <datatype>string</datatype>
+    <valid>listbased</valid> <valid>listless</valid>
+  </parameter>
+  <parameter occurrence="once">
+    <name>n_procs</name>
+    <synopsis>number of processes of the run</synopsis>
+    <datatype>integer</datatype>
+    <unit> <base_unit>process</base_unit> </unit>
+  </parameter>
+  <parameter occurrence="once">
+    <name>mem_per_proc</name>
+    <synopsis>memory per processor</synopsis>
+    <datatype>integer</datatype>
+    <unit> <base_unit>byte</base_unit> <scaling>Mebi</scaling> </unit>
+  </parameter>
+  <parameter occurrence="once">
+    <name>hostname</name>
+    <synopsis>host the benchmark ran on</synopsis>
+    <datatype>string</datatype>
+  </parameter>
+  <parameter occurrence="once">
+    <name>date_run</name>
+    <synopsis>date and time the run was performed</synopsis>
+    <datatype>timestamp</datatype>
+  </parameter>
+  <parameter>
+    <name>pos</name>
+    <synopsis>position (chunk-size index) within the pattern table</synopsis>
+    <datatype>integer</datatype>
+  </parameter>
+  <parameter>
+    <name>S_chunk</name>
+    <synopsis>amount of data that is written or read</synopsis>
+    <datatype>integer</datatype>
+    <unit> <base_unit>byte</base_unit> </unit>
+  </parameter>
+  <parameter>
+    <name>access</name>
+    <synopsis>access methode</synopsis>
+    <datatype>string</datatype>
+    <valid>write</valid> <valid>rewrite</valid> <valid>read</valid>
+  </parameter>
+  <parameter>
+    <name>N_proc</name>
+    <synopsis>number of processes involved in the operation</synopsis>
+    <datatype>integer</datatype>
+    <unit> <base_unit>process</base_unit> </unit>
+  </parameter>
+{bandwidth_results}
+{summary_results}
+</experiment>
+"""
+
+
+def input_xml() -> str:
+    """Complete input description (Fig. 6) for the Fig. 4 file format."""
+    columns = "\n".join(
+        f'    <column variable="{name}" field="{field}"/>'
+        for name, field in (
+            ("N_proc", 1), ("pos", 3), ("S_chunk", 4), ("access", 5),
+            ("B_scatter", 6), ("B_shared", 7), ("B_separate", 8),
+            ("B_segmented", 9), ("B_segcoll", 10)))
+    return f"""\
+<input name="b_eff_io">
+  <named_location parameter="T" match="T=" word="0"/>
+  <named_location parameter="mem_per_proc" match="MEMORY PER PROCESSOR ="/>
+  <named_location parameter="hostname" match="hostname :"/>
+  <named_location parameter="date_run" match="Date of measurement:"/>
+  <named_location parameter="B_write_avg"
+                  match="weighted average bandwidth for write"/>
+  <named_location parameter="B_rewrite_avg"
+                  match="weighted average bandwidth for rewrite"/>
+  <named_location parameter="B_read_avg"
+                  match="weighted average bandwidth for read"/>
+  <named_location parameter="b_eff_io"
+                  match="b_eff_io of these measurements ="/>
+  <filename_location parameter="n_procs" pattern="_N(\\d+)_"/>
+  <filename_location parameter="technique"
+                     pattern="_(listbased|listless)_"/>
+  <filename_location parameter="fs"
+                     pattern="_(ufs|nfs|pvfs|sfs)_"/>
+  <tabular_location start="Summary of file I/O bandwidth" offset="4"
+                    on_mismatch="skip" max_skip="3">
+{columns}
+  </tabular_location>
+</input>
+"""
+
+
+def fig8_query_xml(access: str = "read",
+                   filesystem: str = "ufs") -> str:
+    """The Fig. 7 query: relative performance difference of the two
+    non-contiguous I/O techniques, maximum over all runs, as a bar
+    chart ("We chose the maximum value over all runs, and let perfbase
+    create a bar chart from the derived numbers")."""
+    def source(eid: str, technique: str) -> str:
+        return f"""\
+  <source id="{eid}">
+    <parameter name="technique" value="{technique}" show="no"/>
+    <parameter name="fs" value="{filesystem}" show="no"/>
+    <parameter name="access" value="{access}" show="no"/>
+    <parameter name="S_chunk"/>
+    <result name="B_scatter"/>
+    <result name="B_shared"/>
+    <result name="B_segcoll"/>
+  </source>"""
+    return f"""\
+<query name="fig8_listless_vs_listbased">
+{source("src_new", "listless")}
+{source("src_old", "listbased")}
+  <operator id="max_new" type="max" input="src_new"/>
+  <operator id="max_old" type="max" input="src_old"/>
+  <operator id="reldiff" type="above" input="max_new max_old"/>
+  <output id="chart" input="reldiff" format="gnuplot">
+    <option name="style">bars</option>
+    <option name="x">S_chunk</option>
+    <option name="title">Relative difference listless vs listbased ({access}, {filesystem})</option>
+    <option name="ylabel">relative performance difference [percent]</option>
+  </output>
+  <output id="table" input="reldiff" format="ascii">
+    <option name="title">Relative difference listless vs listbased ({access}, {filesystem})</option>
+  </output>
+  <output id="bars" input="reldiff" format="barchart">
+    <option name="value">B_scatter</option>
+  </output>
+</query>
+"""
+
+
+def stddev_query_xml(technique: str = "listless",
+                     filesystem: str = "ufs") -> str:
+    """The statistical-sufficiency check of Section 5: average and
+    standard deviation per configuration ("in fact some configurations
+    required additional runs to reduce the standard deviation")."""
+    return f"""\
+<query name="stddev_check">
+  <source id="src">
+    <parameter name="technique" value="{technique}" show="no"/>
+    <parameter name="fs" value="{filesystem}" show="no"/>
+    <parameter name="S_chunk"/>
+    <parameter name="access"/>
+    <result name="B_scatter"/>
+  </source>
+  <operator id="mean" type="avg" input="src"/>
+  <operator id="spread" type="stddev" input="src"/>
+  <combiner id="both" input="mean spread"/>
+  <output id="table" input="both" format="ascii">
+    <option name="title">avg/stddev of scatter bandwidth ({technique}, {filesystem})</option>
+    <option name="precision">2</option>
+  </output>
+</query>
+"""

@@ -1,0 +1,99 @@
+"""Synthetic MPI point-to-point benchmark (ping-pong) output generator.
+
+Section 1 motivates perfbase with MPI library development; message-
+passing microbenchmarks (latency/bandwidth vs. message size, the style
+of IMB / OSU benchmarks) are the bread-and-butter input.  The simulator
+uses the classic linear cost model ``t(m) = latency + m / bandwidth``
+with per-protocol kinks (eager -> rendezvous switch) and noise, then
+formats the familiar two-column table.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass
+
+__all__ = ["PingPongConfig", "PingPongSimulator", "MESSAGE_SIZES"]
+
+#: powers of two from 0 bytes to 4 MB, the usual sweep
+MESSAGE_SIZES = (0,) + tuple(2 ** i for i in range(23))
+
+
+@dataclass
+class PingPongConfig:
+    """One ping-pong execution's setup."""
+
+    interconnect: str = "myrinet"    #: "myrinet" | "gige" | "shmem"
+    library: str = "mpi-a"           #: MPI library under test
+    library_version: str = "1.0"
+    eager_limit: int = 16384         #: eager->rendezvous protocol switch
+    repetitions: int = 1000
+    hostpair: str = "node01-node02"
+    seed: int = 0
+
+    #: per-interconnect (latency_us, bandwidth_MB/s, noise sigma)
+    _MODELS = {
+        "myrinet": (6.5, 245.0, 0.02),
+        "gige": (45.0, 112.0, 0.05),
+        "shmem": (0.8, 950.0, 0.03),
+    }
+
+    def __post_init__(self):
+        if self.interconnect not in self._MODELS:
+            raise ValueError(
+                f"unknown interconnect {self.interconnect!r}")
+
+
+class PingPongSimulator:
+    """Generates latency/bandwidth tables in an IMB-like format."""
+
+    def __init__(self, config: PingPongConfig):
+        self.config = config
+        key = (f"{config.seed}:{config.interconnect}:{config.library}:"
+               f"{config.library_version}:{config.hostpair}")
+        self._rng = random.Random(zlib.crc32(key.encode("ascii")))
+
+    def latency_us(self, size: int) -> float:
+        """Modelled one-way latency in microseconds."""
+        lat0, bw, sigma = PingPongConfig._MODELS[
+            self.config.interconnect]
+        t = lat0 + size / bw  # bytes / (MB/s) == microseconds
+        if size > self.config.eager_limit:
+            # rendezvous handshake costs an extra round trip
+            t += 2.0 * lat0
+        return t * math.exp(self._rng.gauss(0.0, sigma))
+
+    @staticmethod
+    def bandwidth_mbs(size: int, latency_us: float) -> float:
+        if latency_us <= 0 or size == 0:
+            return 0.0
+        return size / latency_us  # bytes/us == MB/s
+
+    def generate(self) -> str:
+        """Render the benchmark output file."""
+        cfg = self.config
+        lines = [
+            "#----------------------------------------------------",
+            "# PingPong benchmark (synthetic)",
+            f"# library      : {cfg.library} {cfg.library_version}",
+            f"# interconnect : {cfg.interconnect}",
+            f"# hosts        : {cfg.hostpair}",
+            f"# eager limit  : {cfg.eager_limit} bytes",
+            f"# repetitions  : {cfg.repetitions}",
+            "#----------------------------------------------------",
+            "#  bytes  repetitions      t[usec]    Mbytes/sec",
+        ]
+        for size in MESSAGE_SIZES:
+            t = self.latency_us(size)
+            bw = self.bandwidth_mbs(size, t)
+            lines.append(
+                f"{size:9d} {cfg.repetitions:12d} {t:12.2f} {bw:13.2f}")
+        return "\n".join(lines) + "\n"
+
+    @property
+    def filename(self) -> str:
+        cfg = self.config
+        return (f"pingpong_{cfg.library}-{cfg.library_version}"
+                f"_{cfg.interconnect}_{cfg.hostpair}.txt")

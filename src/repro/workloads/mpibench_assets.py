@@ -1,0 +1,145 @@
+"""XML control files for the MPI ping-pong experiment.
+
+A second complete XML-driven scenario next to
+:mod:`~repro.workloads.beffio_assets` — message-passing
+microbenchmarks are the other daily driver of the paper's MPI-library
+development use case (Section 1).
+"""
+
+from __future__ import annotations
+
+__all__ = ["experiment_xml", "input_xml", "latency_query_xml",
+           "crossover_query_xml"]
+
+
+def experiment_xml() -> str:
+    """Experiment definition for ping-pong results."""
+    return """\
+<experiment>
+  <name>pingpong</name>
+  <info>
+    <performed_by><name>MPI library team</name></performed_by>
+    <project>MPI point-to-point performance</project>
+    <synopsis>PingPong latency/bandwidth sweeps</synopsis>
+  </info>
+  <parameter occurrence="once">
+    <name>library</name>
+    <synopsis>MPI library under test</synopsis>
+    <datatype>string</datatype>
+  </parameter>
+  <parameter occurrence="once">
+    <name>version</name>
+    <synopsis>library revision</synopsis>
+    <datatype>string</datatype>
+  </parameter>
+  <parameter occurrence="once">
+    <name>interconnect</name>
+    <synopsis>network between the host pair</synopsis>
+    <datatype>string</datatype>
+    <valid>myrinet</valid> <valid>gige</valid> <valid>shmem</valid>
+    <valid>unknown</valid>
+    <default>unknown</default>
+  </parameter>
+  <parameter occurrence="once">
+    <name>eager_limit</name>
+    <synopsis>eager-to-rendezvous protocol switch</synopsis>
+    <datatype>integer</datatype>
+    <unit> <base_unit>byte</base_unit> </unit>
+  </parameter>
+  <parameter>
+    <name>bytes</name>
+    <synopsis>message size</synopsis>
+    <datatype>integer</datatype>
+    <unit> <base_unit>byte</base_unit> </unit>
+  </parameter>
+  <result>
+    <name>latency</name>
+    <synopsis>half round-trip time</synopsis>
+    <datatype>float</datatype>
+    <unit> <base_unit>s</base_unit> <scaling>Micro</scaling> </unit>
+  </result>
+  <result>
+    <name>bandwidth</name>
+    <synopsis>effective bandwidth</synopsis>
+    <datatype>float</datatype>
+    <unit> <fraction>
+      <dividend> <base_unit>byte</base_unit> <scaling>Mega</scaling> </dividend>
+      <divisor> <base_unit>s</base_unit> </divisor>
+    </fraction> </unit>
+  </result>
+</experiment>
+"""
+
+
+def input_xml() -> str:
+    """Input description for the PingPong output format of
+    :class:`~repro.workloads.mpibench.PingPongSimulator`."""
+    return """\
+<input name="pingpong">
+  <named_location parameter="library" match="# library      :"
+                  word="0"/>
+  <named_location parameter="version" match="# library      :"
+                  word="1"/>
+  <named_location parameter="interconnect"
+                  match="# interconnect :" word="0"/>
+  <named_location parameter="eager_limit" match="# eager limit  :"/>
+  <tabular_location start="#  bytes  repetitions">
+    <column variable="bytes" field="1"/>
+    <column variable="latency" field="3"/>
+    <column variable="bandwidth" field="4"/>
+  </tabular_location>
+</input>
+"""
+
+
+def latency_query_xml(interconnect: str = "myrinet") -> str:
+    """Average latency vs message size, with spread, as an
+    errorbars gnuplot chart."""
+    return f"""\
+<query name="latency_curve">
+  <source id="src">
+    <parameter name="interconnect" value="{interconnect}" show="no"/>
+    <parameter name="bytes"/>
+    <result name="latency"/>
+  </source>
+  <operator id="mean" type="avg" input="src"/>
+  <operator id="spread" type="stddev" input="src"/>
+  <combiner id="both" input="mean spread"/>
+  <output id="plot" input="both" format="gnuplot">
+    <option name="style">errorbars</option>
+    <option name="x">bytes</option>
+    <option name="logx">yes</option>
+    <option name="logy">yes</option>
+    <option name="title">PingPong latency ({interconnect})</option>
+  </output>
+  <output id="table" input="both" format="ascii">
+    <option name="precision">2</option>
+  </output>
+</query>
+"""
+
+
+def crossover_query_xml(a: str = "myrinet", b: str = "gige") -> str:
+    """Where does interconnect `a` stop beating `b`?  Relative latency
+    difference per message size."""
+    return f"""\
+<query name="interconnect_crossover">
+  <source id="sa">
+    <parameter name="interconnect" value="{a}" show="no"/>
+    <parameter name="bytes"/>
+    <result name="latency"/>
+  </source>
+  <source id="sb">
+    <parameter name="interconnect" value="{b}" show="no"/>
+    <parameter name="bytes"/>
+    <result name="latency"/>
+  </source>
+  <operator id="ma" type="avg" input="sa"/>
+  <operator id="mb" type="avg" input="sb"/>
+  <operator id="rel" type="below" input="ma mb"/>
+  <output id="table" input="rel" format="ascii">
+    <option name="title">latency advantage of {a} over {b} [percent]</option>
+    <option name="precision">1</option>
+  </output>
+</query>
+"""

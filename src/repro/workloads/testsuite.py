@@ -1,0 +1,93 @@
+"""Synthetic correctness test-suite output.
+
+Section 1: "The same is true for testing correctness of a software.
+This can be considered a special case of a performance test with only a
+single result value, namely the number of errors that occurred."
+Section 6 lists "management and analysis of the output of test suites
+not only for performance, but also for correctness" as an application.
+
+The generator emits a test-suite log (one PASS/FAIL/SKIP line per case
+plus a summary) for a software revision; a deterministic per-revision
+defect model makes regression tracking across revisions meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+__all__ = ["TestSuiteConfig", "TestSuiteSimulator", "DEFAULT_CASES"]
+
+DEFAULT_CASES = tuple(
+    f"{group}_{i:02d}"
+    for group in ("pt2pt", "collective", "datatype", "io", "rma")
+    for i in range(1, 9))
+
+
+@dataclass
+class TestSuiteConfig:
+    """One test-suite execution."""
+
+    #: not a pytest test class despite the name
+    __test__ = False
+
+    revision: str = "r100"
+    platform: str = "linux-x86"
+    cases: tuple[str, ...] = field(default_factory=lambda: DEFAULT_CASES)
+    #: base failure probability per case
+    flakiness: float = 0.01
+    #: case-name substrings broken in this revision (always FAIL)
+    broken: tuple[str, ...] = ()
+    seed: int = 0
+
+
+class TestSuiteSimulator:
+    """Generates test-suite logs with a summary error count."""
+
+    #: not a pytest test class despite the name
+    __test__ = False
+
+    def __init__(self, config: TestSuiteConfig):
+        self.config = config
+        key = f"{config.seed}:{config.revision}:{config.platform}"
+        self._rng = random.Random(zlib.crc32(key.encode("ascii")))
+
+    def outcomes(self) -> list[tuple[str, str, float]]:
+        """(case, PASS|FAIL|SKIP, seconds) per test case."""
+        out = []
+        for case in self.config.cases:
+            seconds = abs(self._rng.gauss(0.4, 0.3)) + 0.01
+            if any(marker in case for marker in self.config.broken):
+                out.append((case, "FAIL", seconds))
+            elif self._rng.random() < self.config.flakiness:
+                out.append((case, "FAIL", seconds))
+            elif self._rng.random() < 0.02:
+                out.append((case, "SKIP", 0.0))
+            else:
+                out.append((case, "PASS", seconds))
+        return out
+
+    def generate(self) -> str:
+        cfg = self.config
+        rows = self.outcomes()
+        lines = [
+            f"test suite run: revision={cfg.revision} "
+            f"platform={cfg.platform}",
+            "-" * 50,
+        ]
+        for case, status, seconds in rows:
+            lines.append(f"{status:<5} {case:<20} {seconds:7.2f} s")
+        n_fail = sum(1 for _, s, _ in rows if s == "FAIL")
+        n_skip = sum(1 for _, s, _ in rows if s == "SKIP")
+        n_pass = len(rows) - n_fail - n_skip
+        lines.append("-" * 50)
+        lines.append(f"total: {len(rows)} tests, {n_pass} passed, "
+                     f"{n_fail} failed, {n_skip} skipped")
+        lines.append(f"errors = {n_fail}")
+        return "\n".join(lines) + "\n"
+
+    @property
+    def filename(self) -> str:
+        cfg = self.config
+        return f"testsuite_{cfg.revision}_{cfg.platform}.log"

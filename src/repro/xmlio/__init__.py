@@ -1,0 +1,18 @@
+"""XML control files: experiment definitions (Fig. 5), input
+descriptions (Fig. 6) and query specifications (Fig. 7), with
+DTD-equivalent validation."""
+
+from .experiment_xml import (EXPERIMENT_SPEC, ExperimentDefinition,
+                             experiment_to_xml, parse_experiment_xml)
+from .input_xml import INPUT_SPEC, parse_input_xml
+from .query_xml import QUERY_SPEC, parse_query_xml
+from .schema import (Cardinality, ElementSpec, bool_attr, parse_document,
+                     validate)
+from .writers import input_to_xml, query_to_xml
+
+__all__ = [
+    "EXPERIMENT_SPEC", "ExperimentDefinition", "experiment_to_xml",
+    "parse_experiment_xml", "INPUT_SPEC", "parse_input_xml", "QUERY_SPEC",
+    "parse_query_xml", "Cardinality", "ElementSpec", "bool_attr",
+    "parse_document", "validate", "input_to_xml", "query_to_xml",
+]

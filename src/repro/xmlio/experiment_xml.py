@@ -1,0 +1,273 @@
+"""Experiment definition XML (paper Fig. 5).
+
+Vocabulary::
+
+    <experiment>
+      <name>b_eff_io</name>
+      <info>
+        <performed_by><name>..</name><organization>..</organization></performed_by>
+        <project>..</project> <synopsis>..</synopsis> <description>..</description>
+        <access user="alice" class="input"/> ...
+      </info>
+      <parameter occurrence="once|multiple">
+        <name>T</name> <synopsis>..</synopsis> <description>..</description>
+        <datatype>integer</datatype>
+        <unit> <base_unit>s</base_unit> [<scaling>Mega</scaling>] </unit>
+        <valid>ufs</valid> ...  <default>unknown</default>
+      </parameter>
+      <result> ... <unit><fraction>
+          <dividend><base_unit>byte</base_unit><scaling>Mega</scaling></dividend>
+          <divisor><base_unit>s</base_unit></divisor>
+      </fraction></unit> </result>
+    </experiment>
+
+The paper's figure spells the attribute ``occurence`` (sic); both
+spellings are accepted.  A writer (:func:`experiment_to_xml`) performs
+the inverse mapping so definitions can round-trip.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import Iterable
+from xml.sax.saxutils import escape
+
+from ..core.datatypes import DataType
+from ..core.errors import XMLFormatError
+from ..core.meta import ExperimentInfo, Person
+from ..core.units import DIMENSIONLESS, BaseUnit, Unit
+from ..core.variables import (Occurrence, Parameter, Result, Variable,
+                              VariableSet)
+from .schema import (ANY, AT_LEAST_ONE, ONE, OPTIONAL, ElementSpec,
+                     opt_text, parse_document, text_of)
+
+__all__ = ["ExperimentDefinition", "parse_experiment_xml",
+           "experiment_to_xml"]
+
+
+@dataclass
+class ExperimentDefinition:
+    """Parsed experiment definition: name, info and variables."""
+
+    name: str
+    info: ExperimentInfo
+    variables: VariableSet
+    #: (user, class-name) access grants from <access> elements
+    grants: list[tuple[str, str]]
+
+
+def _leaf(tag: str) -> ElementSpec:
+    return ElementSpec(tag, text=True)
+
+
+def _unit_spec() -> ElementSpec:
+    group = (ElementSpec("dividend")
+             .child("base_unit", _leaf("base_unit"), AT_LEAST_ONE)
+             .child("scaling", _leaf("scaling"), ANY))
+    divisor = (ElementSpec("divisor")
+               .child("base_unit", _leaf("base_unit"), AT_LEAST_ONE)
+               .child("scaling", _leaf("scaling"), ANY))
+    fraction = (ElementSpec("fraction")
+                .child("dividend", group, ONE)
+                .child("divisor", divisor, ONE))
+    return (ElementSpec("unit")
+            .child("base_unit", _leaf("base_unit"), ANY)
+            .child("scaling", _leaf("scaling"), ANY)
+            .child("fraction", fraction, OPTIONAL))
+
+
+def _variable_spec(tag: str) -> ElementSpec:
+    spec = (ElementSpec(tag)
+            .child("name", _leaf("name"), ONE)
+            .child("synopsis", _leaf("synopsis"), OPTIONAL)
+            .child("description", _leaf("description"), OPTIONAL)
+            .child("datatype", _leaf("datatype"), ONE)
+            .child("unit", _unit_spec(), OPTIONAL)
+            .child("valid", _leaf("valid"), ANY)
+            .child("default", _leaf("default"), OPTIONAL))
+    spec.attr("occurrence").attr("occurence")  # paper's spelling (sic)
+    return spec
+
+
+_INFO_SPEC = (
+    ElementSpec("info")
+    .child("performed_by",
+           (ElementSpec("performed_by")
+            .child("name", _leaf("name"), ONE)
+            .child("organization", _leaf("organization"), OPTIONAL)),
+           OPTIONAL)
+    .child("project", _leaf("project"), OPTIONAL)
+    .child("synopsis", _leaf("synopsis"), OPTIONAL)
+    .child("description", _leaf("description"), OPTIONAL)
+    .child("access",
+           ElementSpec("access").attr("user", True).attr("class", True),
+           ANY))
+
+EXPERIMENT_SPEC = (
+    ElementSpec("experiment")
+    .child("name", _leaf("name"), ONE)
+    .child("info", _INFO_SPEC, OPTIONAL)
+    .child("parameter", _variable_spec("parameter"), ANY)
+    .child("result", _variable_spec("result"), ANY))
+
+
+def _parse_unit_group(element: ET.Element) -> list[BaseUnit]:
+    """Pair <base_unit>/<scaling> children of a dividend/divisor group.
+
+    A <scaling> applies to the <base_unit> that follows it (matching the
+    reading order of Fig. 5, where scaling is given inside the group)."""
+    units: list[BaseUnit] = []
+    pending_scaling = ""
+    order: list[tuple[str, str]] = [
+        (child.tag, (child.text or "").strip()) for child in element]
+    for tag, value in order:
+        if tag == "scaling":
+            pending_scaling = value
+        elif tag == "base_unit":
+            units.append(BaseUnit(value, pending_scaling))
+            pending_scaling = ""
+    # Fig. 5 places <scaling> AFTER <base_unit> inside <dividend>; if a
+    # scaling is left pending, apply it to the last unit.
+    if pending_scaling and units:
+        last = units[-1]
+        units[-1] = BaseUnit(last.name, pending_scaling)
+    return units
+
+
+def _parse_unit(element: ET.Element | None) -> Unit:
+    if element is None:
+        return DIMENSIONLESS
+    fraction = element.find("fraction")
+    if fraction is not None:
+        dividend = _parse_unit_group(fraction.find("dividend"))
+        divisor = _parse_unit_group(fraction.find("divisor"))
+        return Unit(tuple(dividend), tuple(divisor))
+    units = _parse_unit_group(element)
+    return Unit(tuple(units)) if units else DIMENSIONLESS
+
+
+def _parse_variable(element: ET.Element) -> Variable:
+    # Fig. 5: variables without the attribute are data-set (multiple)
+    # variables; the attribute is spelled "occurence" (sic) in the paper
+    occurrence = (element.get("occurrence") or element.get("occurence")
+                  or "multiple")
+    cls = Result if element.tag == "result" else Parameter
+    valid = tuple((v.text or "").strip() for v in element.findall("valid"))
+    default_el = element.find("default")
+    return cls(
+        name=text_of(element, "name"),
+        synopsis=opt_text(element, "synopsis"),
+        description=opt_text(element, "description"),
+        datatype=DataType.from_name(text_of(element, "datatype")),
+        unit=_parse_unit(element.find("unit")),
+        occurrence=Occurrence.from_name(occurrence),
+        valid_values=valid,
+        default=(default_el.text or "").strip()
+        if default_el is not None else None,
+    )
+
+
+def parse_experiment_xml(source: str) -> ExperimentDefinition:
+    """Parse an experiment definition from XML text or a file path."""
+    root = parse_document(source, EXPERIMENT_SPEC)
+    name = text_of(root, "name")
+    info_el = root.find("info")
+    grants: list[tuple[str, str]] = []
+    if info_el is not None:
+        performed = info_el.find("performed_by")
+        person = Person(
+            name=text_of(performed, "name") if performed is not None
+            else "",
+            organization=opt_text(performed, "organization")
+            if performed is not None else "")
+        info = ExperimentInfo(
+            performed_by=person,
+            project=opt_text(info_el, "project"),
+            synopsis=opt_text(info_el, "synopsis"),
+            description=opt_text(info_el, "description"))
+        for access in info_el.findall("access"):
+            grants.append((access.get("user"), access.get("class")))
+    else:
+        info = ExperimentInfo()
+    variables = VariableSet()
+    for element in root:
+        if element.tag in ("parameter", "result"):
+            variables.add(_parse_variable(element))
+    if not len(variables):
+        raise XMLFormatError(
+            "experiment defines no parameters or results",
+            element="experiment")
+    return ExperimentDefinition(name=name, info=info,
+                                variables=variables, grants=grants)
+
+
+# -- writer -------------------------------------------------------------------
+
+
+def _unit_xml(unit: Unit, indent: str) -> list[str]:
+    if not unit.dividend and not unit.divisor:
+        return []
+
+    def group(units: tuple[BaseUnit, ...], pad: str) -> list[str]:
+        out = []
+        for u in units:
+            out.append(f"{pad}<base_unit>{escape(u.name)}</base_unit>")
+            if u.scaling:
+                out.append(f"{pad}<scaling>{escape(u.scaling)}</scaling>")
+        return out
+
+    if unit.divisor:
+        lines = [f"{indent}<unit> <fraction>"]
+        lines.append(f"{indent}  <dividend>")
+        lines += group(unit.dividend, indent + "    ")
+        lines.append(f"{indent}  </dividend>")
+        lines.append(f"{indent}  <divisor>")
+        lines += group(unit.divisor, indent + "    ")
+        lines.append(f"{indent}  </divisor>")
+        lines.append(f"{indent}</fraction> </unit>")
+        return lines
+    lines = [f"{indent}<unit>"]
+    lines += group(unit.dividend, indent + "  ")
+    lines.append(f"{indent}</unit>")
+    return lines
+
+
+def experiment_to_xml(name: str, info: ExperimentInfo,
+                      variables: Iterable[Variable]) -> str:
+    """Serialise an experiment definition back to XML."""
+    lines = ["<experiment>", f"  <name>{escape(name)}</name>", "  <info>"]
+    lines.append("    <performed_by>")
+    lines.append(f"      <name>{escape(info.performed_by.name)}</name>")
+    if info.performed_by.organization:
+        lines.append("      <organization>"
+                     f"{escape(info.performed_by.organization)}"
+                     "</organization>")
+    lines.append("    </performed_by>")
+    for tag in ("project", "synopsis", "description"):
+        value = getattr(info, tag)
+        if value:
+            lines.append(f"    <{tag}>{escape(value)}</{tag}>")
+    lines.append("  </info>")
+    for var in variables:
+        tag = "result" if var.is_result else "parameter"
+        occ = f' occurrence="{var.occurrence.value}"'
+        lines.append(f"  <{tag}{occ}>")
+        lines.append(f"    <name>{escape(var.name)}</name>")
+        if var.synopsis:
+            lines.append(
+                f"    <synopsis>{escape(var.synopsis)}</synopsis>")
+        if var.description:
+            lines.append(f"    <description>{escape(var.description)}"
+                         "</description>")
+        lines.append(
+            f"    <datatype>{var.datatype.value}</datatype>")
+        lines += _unit_xml(var.unit, "    ")
+        for valid in var.valid_values:
+            lines.append(f"    <valid>{escape(str(valid))}</valid>")
+        if var.default is not None:
+            lines.append(
+                f"    <default>{escape(str(var.default))}</default>")
+        lines.append(f"  </{tag}>")
+    lines.append("</experiment>")
+    return "\n".join(lines) + "\n"

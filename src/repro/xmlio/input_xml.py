@@ -1,0 +1,141 @@
+"""Input description XML (paper Fig. 6).
+
+Vocabulary (one element per location kind of Section 3.2)::
+
+    <input [name="..."]>
+      <named_location parameter="T" match="T=" [regex="yes"]
+                      [direction="after|before"] [word="0"]
+                      [which="first|last|all"]/>
+      <fixed_location parameter="x" row="3" [column="2"]/>
+      <tabular_location [start=".."] [regex="yes"] [offset="1"]
+                        [stop=".."] [stop_regex="yes"]
+                        [on_mismatch="stop|skip"] [max_skip="5"]
+                        [max_rows="N"]>
+        <column variable="N_proc" field="1"/> ...
+      </tabular_location>
+      <filename_location parameter="fs" [pattern=".."]
+                         [separator="_"] [part="3"]/>
+      <fixed_value parameter="fs" value="ufs"/>
+      <derived_parameter parameter="total" expression="a * b"/>
+      <run_separator match=".." [regex="yes"] [keep_line="yes"]
+                     [leading="discard|run"]/>
+    </input>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from ..core.errors import XMLFormatError
+from ..parse.description import InputDescription
+from ..parse.locations import (DerivedParameter, FilenameLocation,
+                               FixedLocation, FixedValue, NamedLocation,
+                               TabularColumn, TabularLocation)
+from ..parse.separators import RunSeparator
+from .schema import (ANY, AT_LEAST_ONE, OPTIONAL, ElementSpec, bool_attr,
+                     parse_document)
+
+__all__ = ["parse_input_xml", "INPUT_SPEC"]
+
+_COLUMN = ElementSpec("column").attr("variable", True).attr("field", True)
+
+INPUT_SPEC = (
+    ElementSpec("input").attr("name")
+    .child("named_location",
+           (ElementSpec("named_location")
+            .attr("parameter", True).attr("match", True).attr("regex")
+            .attr("direction").attr("word").attr("which")), ANY)
+    .child("fixed_location",
+           (ElementSpec("fixed_location")
+            .attr("parameter", True).attr("row", True).attr("column")),
+           ANY)
+    .child("tabular_location",
+           (ElementSpec("tabular_location")
+            .attr("start").attr("regex").attr("offset").attr("stop")
+            .attr("stop_regex").attr("on_mismatch").attr("max_skip")
+            .attr("max_rows")
+            .child("column", _COLUMN, AT_LEAST_ONE)), ANY)
+    .child("filename_location",
+           (ElementSpec("filename_location")
+            .attr("parameter", True).attr("pattern").attr("separator")
+            .attr("part")), ANY)
+    .child("fixed_value",
+           (ElementSpec("fixed_value")
+            .attr("parameter", True).attr("value", True)), ANY)
+    .child("derived_parameter",
+           (ElementSpec("derived_parameter")
+            .attr("parameter", True).attr("expression", True)), ANY)
+    .child("run_separator",
+           (ElementSpec("run_separator")
+            .attr("match", True).attr("regex").attr("keep_line")
+            .attr("leading")), OPTIONAL))
+
+
+def _int_attr(element: ET.Element, name: str,
+              default: int | None = None) -> int | None:
+    raw = element.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise XMLFormatError(
+            f"attribute {name!r} must be an integer, got {raw!r}",
+            element=element.tag) from None
+
+
+def parse_input_xml(source: str) -> InputDescription:
+    """Parse an input description from XML text or a file path."""
+    root = parse_document(source, INPUT_SPEC)
+    description = InputDescription(name=root.get("name", ""))
+    for element in root:
+        tag = element.tag
+        if tag == "named_location":
+            description.add(NamedLocation(
+                element.get("parameter"),
+                element.get("match"),
+                regex=bool_attr(element, "regex"),
+                direction=element.get("direction", "after"),
+                word=_int_attr(element, "word"),
+                which=element.get("which", "first")))
+        elif tag == "fixed_location":
+            description.add(FixedLocation(
+                element.get("parameter"),
+                row=_int_attr(element, "row"),
+                column=_int_attr(element, "column", 0)))
+        elif tag == "tabular_location":
+            columns = [TabularColumn(c.get("variable"),
+                                     int(c.get("field")))
+                       for c in element.findall("column")]
+            description.add(TabularLocation(
+                columns,
+                start=element.get("start"),
+                regex=bool_attr(element, "regex"),
+                offset=_int_attr(element, "offset", 1),
+                stop=element.get("stop"),
+                stop_regex=bool_attr(element, "stop_regex"),
+                on_mismatch=element.get("on_mismatch", "stop"),
+                max_skip=_int_attr(element, "max_skip", 5),
+                max_rows=_int_attr(element, "max_rows")))
+        elif tag == "filename_location":
+            description.add(FilenameLocation(
+                element.get("parameter"),
+                pattern=element.get("pattern"),
+                separator=element.get("separator", "_"),
+                part=_int_attr(element, "part")))
+        elif tag == "fixed_value":
+            description.add(FixedValue(
+                element.get("parameter"), element.get("value")))
+        elif tag == "derived_parameter":
+            description.add(DerivedParameter(
+                element.get("parameter"), element.get("expression")))
+        elif tag == "run_separator":
+            description.separator = RunSeparator(
+                element.get("match"),
+                regex=bool_attr(element, "regex"),
+                keep_line=bool_attr(element, "keep_line", True),
+                leading=element.get("leading", "discard"))
+    if not description.locations:
+        raise XMLFormatError("input description defines no locations",
+                             element="input")
+    return description

@@ -1,0 +1,160 @@
+"""Lightweight XML schema validation.
+
+The paper's control files "conform to a perfbase-specific DTD"
+(Section 3.1).  Shipping real DTD validation would need an external
+validating parser; instead this module implements the same checks —
+allowed child elements with cardinalities, allowed attributes, required
+attributes — as declarative :class:`ElementSpec` trees, raising
+:class:`~repro.core.errors.XMLFormatError` with element context on any
+violation.
+"""
+
+from __future__ import annotations
+
+import io
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+
+from ..core.errors import XMLFormatError
+
+__all__ = ["Cardinality", "ElementSpec", "validate", "parse_document",
+           "text_of", "opt_text", "bool_attr"]
+
+
+@dataclass(frozen=True)
+class Cardinality:
+    """min/max occurrences of a child element (max None = unbounded)."""
+
+    min: int = 0
+    max: int | None = None
+
+    def check(self, count: int, child: str, parent: str) -> None:
+        if count < self.min:
+            raise XMLFormatError(
+                f"needs at least {self.min} <{child}> child(ren), "
+                f"found {count}", element=parent)
+        if self.max is not None and count > self.max:
+            raise XMLFormatError(
+                f"allows at most {self.max} <{child}> child(ren), "
+                f"found {count}", element=parent)
+
+
+ONE = Cardinality(1, 1)
+OPTIONAL = Cardinality(0, 1)
+ANY = Cardinality(0, None)
+AT_LEAST_ONE = Cardinality(1, None)
+
+
+@dataclass
+class ElementSpec:
+    """Schema of one element type.
+
+    ``children`` maps child tag -> (spec, cardinality); ``attributes``
+    maps attribute name -> required?.  ``text`` says whether character
+    data is meaningful for this element.
+    """
+
+    tag: str
+    children: dict[str, tuple["ElementSpec", Cardinality]] = field(
+        default_factory=dict)
+    attributes: dict[str, bool] = field(default_factory=dict)
+    text: bool = False
+
+    def child(self, tag: str, spec: "ElementSpec",
+              cardinality: Cardinality = ANY) -> "ElementSpec":
+        self.children[tag] = (spec, cardinality)
+        return self
+
+    def attr(self, name: str, required: bool = False) -> "ElementSpec":
+        self.attributes[name] = required
+        return self
+
+
+def validate(element: ET.Element, spec: ElementSpec) -> None:
+    """Recursively validate ``element`` against ``spec``."""
+    if element.tag != spec.tag:
+        raise XMLFormatError(
+            f"expected <{spec.tag}>, found <{element.tag}>",
+            element=element.tag)
+    for name, required in spec.attributes.items():
+        if required and name not in element.attrib:
+            raise XMLFormatError(
+                f"missing required attribute {name!r}",
+                element=element.tag)
+    for name in element.attrib:
+        if name not in spec.attributes:
+            allowed = ", ".join(sorted(spec.attributes)) or "(none)"
+            raise XMLFormatError(
+                f"unknown attribute {name!r} (allowed: {allowed})",
+                element=element.tag)
+    counts: dict[str, int] = {}
+    for child in element:
+        if child.tag not in spec.children:
+            allowed = ", ".join(sorted(spec.children)) or "(none)"
+            raise XMLFormatError(
+                f"unexpected child <{child.tag}> (allowed: {allowed})",
+                element=element.tag)
+        counts[child.tag] = counts.get(child.tag, 0) + 1
+    for tag, (child_spec, cardinality) in spec.children.items():
+        cardinality.check(counts.get(tag, 0), tag, element.tag)
+    for child in element:
+        validate(child, spec.children[child.tag][0])
+    if not spec.text and not spec.children:
+        if element.text and element.text.strip():
+            raise XMLFormatError(
+                "element does not allow text content",
+                element=element.tag)
+
+
+def parse_document(source: str, spec: ElementSpec) -> ET.Element:
+    """Parse XML from a string (or text starting with ``<``) or a file
+    path, validate against ``spec`` and return the root element."""
+    text = source
+    if not source.lstrip().startswith("<"):
+        with open(source, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    try:
+        root = ET.parse(io.StringIO(text)).getroot()
+    except ET.ParseError as exc:
+        raise XMLFormatError(f"not well-formed XML: {exc}") from exc
+    validate(root, spec)
+    return root
+
+
+# -- extraction helpers used by all three document parsers -------------------
+
+
+def text_of(element: ET.Element, tag: str) -> str:
+    """Text of a required unique child."""
+    child = element.find(tag)
+    if child is None:
+        raise XMLFormatError(f"missing <{tag}>", element=element.tag)
+    return (child.text or "").strip()
+
+
+def opt_text(element: ET.Element, tag: str,
+             default: str = "") -> str:
+    child = element.find(tag)
+    if child is None:
+        return default
+    return (child.text or "").strip()
+
+
+_TRUE = {"yes", "true", "1", "on"}
+_FALSE = {"no", "false", "0", "off"}
+
+
+def bool_attr(element: ET.Element, name: str,
+              default: bool = False) -> bool:
+    raw = element.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value in _TRUE:
+        return True
+    if value in _FALSE:
+        return False
+    raise XMLFormatError(
+        f"attribute {name!r} must be yes/no, got {raw!r}",
+        element=element.tag)

@@ -1,0 +1,179 @@
+"""Unit tests for automatic analysis (Section 6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (outlier_mask, run_regressions,
+                            suspicious_datasets)
+from repro.core import DefinitionError, PerfbaseError, RunData
+from tests.conftest import fill_simple
+
+
+class TestOutlierMask:
+    def test_obvious_outlier_zscore(self):
+        values = [10.0] * 10 + [100.0]
+        mask = outlier_mask(values, "zscore", 3.0)
+        assert mask[-1] and mask[:-1].sum() == 0
+
+    def test_obvious_outlier_mad(self):
+        values = [10.0, 10.1, 9.9, 10.05, 9.95, 50.0]
+        mask = outlier_mask(values, "mad")
+        assert mask[-1]
+
+    def test_obvious_outlier_iqr(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 100.0]
+        mask = outlier_mask(values, "iqr", 1.5)
+        assert mask[-1]
+
+    def test_clean_data_unflagged(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(10, 1, 100)
+        assert outlier_mask(values, "zscore", 4.0).sum() == 0
+
+    def test_small_samples_never_flag(self):
+        assert outlier_mask([1.0, 99.0, 1.0], "mad").sum() == 0
+
+    def test_constant_data_unflagged(self):
+        assert outlier_mask([5.0] * 10, "zscore").sum() == 0
+        assert outlier_mask([5.0] * 10, "mad").sum() == 0
+
+    def test_nan_never_flagged(self):
+        values = [1.0, 1.1, 0.9, 1.05, np.nan, 50.0]
+        mask = outlier_mask(values, "mad")
+        assert not mask[4] and mask[5]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(PerfbaseError, match="unknown outlier"):
+            outlier_mask([1.0] * 5, "voodoo")
+
+    def test_2d_rejected(self):
+        with pytest.raises(PerfbaseError):
+            outlier_mask(np.ones((2, 2)))
+
+
+class TestSuspiciousDatasets:
+    def test_planted_glitch_found(self, simple_experiment):
+        def value(technique, rep, chunk, access):
+            # one wildly low measurement in an otherwise tight group
+            if (technique, rep, chunk, access) == ("old", 2, 1024,
+                                                   "read"):
+                return 0.5
+            return 10.0 + rep * 0.01
+        fill_simple(simple_experiment, reps=5, value=value)
+        found = suspicious_datasets(
+            simple_experiment, "bw",
+            ["technique", "S_chunk", "access"])
+        assert len(found) == 1
+        s = found[0]
+        assert s.group == (("technique", "old"), ("S_chunk", 1024),
+                           ("access", "read"))
+        assert s.value == 0.5
+        assert "run" in str(s)
+
+    def test_clean_data_empty(self, simple_experiment):
+        fill_simple(simple_experiment, reps=5,
+                    value=lambda t, r, c, a: 10.0 + r * 0.01)
+        assert suspicious_datasets(
+            simple_experiment, "bw",
+            ["technique", "S_chunk", "access"]) == []
+
+    def test_once_result_rejected(self, filled_experiment):
+        with pytest.raises(DefinitionError, match="multiple"):
+            suspicious_datasets(filled_experiment, "technique", [])
+
+    def test_unknown_result_rejected(self, filled_experiment):
+        with pytest.raises(DefinitionError):
+            suspicious_datasets(filled_experiment, "ghost", [])
+
+
+class TestRunRegressions:
+    def fill_history(self, exp, values, technique="old"):
+        for v in values:
+            exp.store_run(RunData(
+                once={"technique": technique, "fs": "ufs"},
+                datasets=[{"S_chunk": 1, "access": "r", "bw": v}]))
+
+    def test_drop_detected(self, simple_experiment):
+        self.fill_history(simple_experiment,
+                          [10.0, 10.1, 9.9, 10.0, 4.0])
+        found = run_regressions(simple_experiment, "bw",
+                                ["technique"])
+        assert len(found) == 1
+        r = found[0]
+        assert r.is_drop
+        assert r.run_index == 5
+        assert r.relative_change == pytest.approx(-0.6, abs=0.01)
+        assert "drop" in str(r)
+
+    def test_jump_detected(self, simple_experiment):
+        self.fill_history(simple_experiment,
+                          [10.0, 10.1, 9.9, 10.0, 20.0])
+        found = run_regressions(simple_experiment, "bw",
+                                ["technique"])
+        assert len(found) == 1 and not found[0].is_drop
+
+    def test_stable_history_clean(self, simple_experiment):
+        self.fill_history(simple_experiment, [10.0, 10.1, 9.9, 10.05,
+                                              10.02, 9.98])
+        assert run_regressions(simple_experiment, "bw",
+                               ["technique"]) == []
+
+    def test_configs_tracked_separately(self, simple_experiment):
+        self.fill_history(simple_experiment, [10.0, 10.1, 9.9, 10.0],
+                          technique="old")
+        # 'new' has a different but internally consistent level
+        self.fill_history(simple_experiment, [20.0, 20.1, 19.9, 20.0],
+                          technique="new")
+        assert run_regressions(simple_experiment, "bw",
+                               ["technique"]) == []
+
+    def test_min_history_respected(self, simple_experiment):
+        self.fill_history(simple_experiment, [10.0, 4.0])
+        assert run_regressions(simple_experiment, "bw",
+                               ["technique"]) == []
+
+    def test_small_relative_change_ignored(self, simple_experiment):
+        # statistically significant but tiny relative change
+        self.fill_history(simple_experiment,
+                          [10.0, 10.001, 9.999, 10.0, 10.05])
+        assert run_regressions(
+            simple_experiment, "bw", ["technique"],
+            min_relative_change=0.10) == []
+
+    def test_jump_from_zero_history(self, simple_experiment):
+        # first failing run after an all-zero history must be flagged
+        self.fill_history(simple_experiment, [0.0, 0.0, 0.0, 8.0])
+        found = run_regressions(simple_experiment, "bw",
+                                ["technique"])
+        assert len(found) == 1
+        assert found[0].run_index == 4
+        assert "from zero history" in str(found[0])
+
+    def test_dataset_filter(self, simple_experiment):
+        # the regression hides in the small values; large values
+        # dominate the unfiltered mean
+        for v_small in (1.0, 1.0, 1.0, 5.0):
+            simple_experiment.store_run(RunData(
+                once={"technique": "old", "fs": "ufs"},
+                datasets=[{"S_chunk": 1, "access": "r",
+                           "bw": v_small},
+                          {"S_chunk": 10_000, "access": "r",
+                           "bw": 1000.0}]))
+        unfiltered = run_regressions(simple_experiment, "bw",
+                                     ["technique"])
+        filtered = run_regressions(
+            simple_experiment, "bw", ["technique"],
+            dataset_filter=lambda ds: ds["S_chunk"] < 100)
+        assert unfiltered == []
+        assert len(filtered) == 1 and filtered[0].run_index == 4
+
+    def test_once_result_supported(self, server):
+        from repro import Experiment, Parameter, Result
+        exp = Experiment.create(server, "hist", [
+            Parameter("rev"),
+            Result("score", datatype="float"),
+        ])
+        for i, score in enumerate([5.0, 5.1, 4.9, 5.0, 2.0]):
+            exp.store_run(RunData(once={"rev": "r", "score": score}))
+        found = run_regressions(exp, "score", ["rev"])
+        assert len(found) == 1 and found[0].run_index == 5

@@ -1,0 +1,91 @@
+"""Shared fixtures: servers, a small generic experiment and the full
+b_eff_io experiment with an imported campaign."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Experiment, MemoryServer, Parameter, Result, RunData
+from repro.core import DataType, Occurrence, Unit
+from repro.parse import Importer
+from repro.workloads.beffio import generate_campaign
+from repro.workloads.beffio_assets import experiment_xml, input_xml
+from repro.xmlio import parse_experiment_xml, parse_input_xml
+
+
+@pytest.fixture
+def server():
+    return MemoryServer()
+
+
+def make_simple_experiment(server, name="simple"):
+    """A small experiment: 2 once-params, 2 multi-params, 1 result."""
+    return Experiment.create(server, name, [
+        Parameter("technique", datatype=DataType.STRING,
+                  synopsis="algorithm variant"),
+        Parameter("fs", datatype=DataType.STRING,
+                  valid_values=("ufs", "nfs", "unknown"),
+                  default="unknown"),
+        Parameter("S_chunk", datatype=DataType.INTEGER,
+                  occurrence=Occurrence.MULTIPLE,
+                  unit=Unit.base("byte"), synopsis="chunk size"),
+        Parameter("access", datatype=DataType.STRING,
+                  occurrence=Occurrence.MULTIPLE),
+        Result("bw", datatype=DataType.FLOAT,
+               occurrence=Occurrence.MULTIPLE,
+               unit=Unit.parse("MB/s"), synopsis="bandwidth"),
+    ])
+
+
+@pytest.fixture
+def simple_experiment(server):
+    return make_simple_experiment(server)
+
+
+def fill_simple(exp, *, techniques=("old", "new"), reps=3,
+                chunks=(32, 1024, 1048576), accesses=("write", "read"),
+                value=None):
+    """Deterministic data: bw = chunk-rank * 10 + access bonus +
+    technique bonus + rep (unless ``value`` callable given)."""
+    for technique in techniques:
+        for rep in range(reps):
+            datasets = []
+            for ci, chunk in enumerate(chunks):
+                for access in accesses:
+                    if value is not None:
+                        bw = value(technique, rep, chunk, access)
+                    else:
+                        bw = (ci * 10.0
+                              + (5.0 if access == "read" else 0.0)
+                              + (2.0 if technique == "new" else 0.0)
+                              + rep)
+                    datasets.append({"S_chunk": chunk,
+                                     "access": access, "bw": bw})
+            exp.store_run(RunData(
+                once={"technique": technique, "fs": "ufs"},
+                datasets=datasets))
+    return exp
+
+
+@pytest.fixture
+def filled_experiment(simple_experiment):
+    return fill_simple(simple_experiment)
+
+
+@pytest.fixture(scope="session")
+def beffio_campaign():
+    """(filename, content) pairs of a small deterministic campaign."""
+    return generate_campaign(repetitions=3)
+
+
+@pytest.fixture
+def beffio_experiment(server, beffio_campaign):
+    """The paper's b_eff_io experiment, fully imported via the XML
+    control files."""
+    definition = parse_experiment_xml(experiment_xml())
+    exp = Experiment.create(server, definition.name,
+                            list(definition.variables), definition.info)
+    importer = Importer(exp, parse_input_xml(input_xml()))
+    for fname, content in beffio_campaign:
+        importer.import_text(content, fname)
+    return exp

@@ -1,0 +1,82 @@
+"""Unit tests for user classes and access control (Section 4.2)."""
+
+import pytest
+
+from repro.core import AccessControl, AccessError, UserClass
+
+
+class TestUserClass:
+    def test_ordering(self):
+        assert UserClass.QUERY < UserClass.INPUT < UserClass.ADMIN
+
+    def test_from_name(self):
+        assert UserClass.from_name("query") is UserClass.QUERY
+        assert UserClass.from_name("ADMIN") is UserClass.ADMIN
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            UserClass.from_name("root")
+
+
+class TestAccessControl:
+    def test_open_access_by_default(self):
+        ac = AccessControl()
+        assert ac.class_of("anyone") is UserClass.ADMIN
+        ac.check("anyone", UserClass.ADMIN, "op")  # no raise
+
+    def test_grant_closes_open_access(self):
+        ac = AccessControl()
+        ac.grant("alice", UserClass.QUERY)
+        assert not ac.open_access
+        assert ac.class_of("bob") is None
+
+    def test_grant_by_name(self):
+        ac = AccessControl()
+        ac.grant("alice", "input")
+        assert ac.class_of("alice") is UserClass.INPUT
+
+    def test_higher_class_implies_lower(self):
+        ac = AccessControl()
+        ac.grant("alice", UserClass.ADMIN)
+        ac.check("alice", UserClass.QUERY, "op")
+        ac.check("alice", UserClass.INPUT, "op")
+
+    def test_lower_class_rejected_for_higher_op(self):
+        ac = AccessControl()
+        ac.grant("bob", UserClass.QUERY)
+        with pytest.raises(AccessError) as err:
+            ac.check("bob", UserClass.INPUT, "import data")
+        assert err.value.user == "bob"
+        assert err.value.needed == "input"
+
+    def test_unknown_user_rejected(self):
+        ac = AccessControl()
+        ac.grant("alice", UserClass.ADMIN)
+        with pytest.raises(AccessError):
+            ac.check("mallory", UserClass.QUERY, "query")
+
+    def test_revoke(self):
+        ac = AccessControl()
+        ac.grant("alice", UserClass.ADMIN)
+        ac.grant("bob", UserClass.INPUT)
+        ac.revoke("bob")
+        assert ac.class_of("bob") is None
+        ac.revoke("bob")  # idempotent
+
+    def test_can(self):
+        ac = AccessControl()
+        ac.grant("alice", UserClass.INPUT)
+        assert ac.can("alice", UserClass.QUERY)
+        assert not ac.can("alice", UserClass.ADMIN)
+
+    def test_serialisation_roundtrip(self):
+        ac = AccessControl()
+        ac.grant("alice", UserClass.ADMIN)
+        ac.grant("bob", UserClass.QUERY)
+        restored = AccessControl.from_dict(ac.as_dict())
+        assert restored.open_access == ac.open_access
+        assert restored.users == ac.users
+
+    def test_default_serialisation(self):
+        restored = AccessControl.from_dict(AccessControl().as_dict())
+        assert restored.open_access

@@ -1,0 +1,235 @@
+"""Unit tests for datatype smart parsing (Section 3.2)."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core import DataType, DataTypeError, parse_content
+from repro.core.datatypes import (coerce, format_content, parse_duration,
+                                  parse_timestamp, sql_type)
+
+
+class TestDataTypeResolution:
+    def test_from_name(self):
+        assert DataType.from_name("integer") is DataType.INTEGER
+        assert DataType.from_name("float") is DataType.FLOAT
+        assert DataType.from_name("string") is DataType.STRING
+
+    def test_aliases(self):
+        assert DataType.from_name("int") is DataType.INTEGER
+        assert DataType.from_name("text") is DataType.STRING
+        assert DataType.from_name("bool") is DataType.BOOLEAN
+        assert DataType.from_name("datetime") is DataType.TIMESTAMP
+
+    def test_case_insensitive(self):
+        assert DataType.from_name("Integer") is DataType.INTEGER
+        assert DataType.from_name("  FLOAT ") is DataType.FLOAT
+
+    def test_unknown_raises(self):
+        with pytest.raises(DataTypeError, match="unknown datatype"):
+            DataType.from_name("complex")
+
+    def test_is_numeric(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert DataType.DURATION.is_numeric
+        assert not DataType.STRING.is_numeric
+        assert not DataType.TIMESTAMP.is_numeric
+
+
+class TestIntegerParsing:
+    def test_plain(self):
+        assert parse_content("42", DataType.INTEGER) == 42
+
+    def test_negative(self):
+        assert parse_content("-17", DataType.INTEGER) == -17
+
+    def test_embedded_in_text(self):
+        # "smart parsing": unit suffix glued to the number
+        assert parse_content("256 MBytes", DataType.INTEGER) == 256
+        assert parse_content("= 256MB", DataType.INTEGER) == 256
+
+    def test_thousands_separators(self):
+        assert parse_content("1,048,576", DataType.INTEGER) == 1048576
+
+    def test_integral_float_accepted(self):
+        assert parse_content("2.000", DataType.INTEGER) == 2
+
+    def test_non_integral_rejected(self):
+        with pytest.raises(DataTypeError):
+            parse_content("2.5", DataType.INTEGER)
+
+    def test_no_number_rejected(self):
+        with pytest.raises(DataTypeError):
+            parse_content("write", DataType.INTEGER)
+
+
+class TestFloatParsing:
+    def test_plain(self):
+        assert parse_content("35.504", DataType.FLOAT) == 35.504
+
+    def test_scientific(self):
+        assert parse_content("1e-3", DataType.FLOAT) == 1e-3
+        assert parse_content("2.5E+4", DataType.FLOAT) == 2.5e4
+
+    def test_with_unit_suffix(self):
+        assert parse_content("65.658 MB/s", DataType.FLOAT) == 65.658
+
+    def test_leading_colon(self):
+        assert parse_content(": 214.516 MB/s on 4",
+                             DataType.FLOAT) == 214.516
+
+    def test_no_number_rejected(self):
+        with pytest.raises(DataTypeError):
+            parse_content("n/a---", DataType.FLOAT)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataTypeError):
+            parse_content("   ", DataType.FLOAT)
+
+
+class TestStringParsing:
+    def test_strips_whitespace(self):
+        assert parse_content("  ufs \n", DataType.STRING) == "ufs"
+
+    def test_empty_is_valid_string(self):
+        assert parse_content("", DataType.STRING) == ""
+
+
+class TestBooleanParsing:
+    @pytest.mark.parametrize("text", ["true", "Yes", "ON", "1",
+                                      "enabled", "y"])
+    def test_true_words(self, text):
+        assert parse_content(text, DataType.BOOLEAN) is True
+
+    @pytest.mark.parametrize("text", ["false", "No", "off", "0",
+                                      "disabled", "n"])
+    def test_false_words(self, text):
+        assert parse_content(text, DataType.BOOLEAN) is False
+
+    def test_first_word_wins(self):
+        assert parse_content("yes, really", DataType.BOOLEAN) is True
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DataTypeError):
+            parse_content("maybe", DataType.BOOLEAN)
+
+
+class TestTimestampParsing:
+    def test_beffio_date_line(self):
+        # the exact format of Fig. 4's "Date of measurement" line
+        ts = parse_timestamp("Tue Nov 23 18:30:30 2004")
+        assert ts == datetime(2004, 11, 23, 18, 30, 30)
+
+    def test_timezone_word_dropped(self):
+        ts = parse_timestamp("Tue Jun 22 14:37:05 CEST 2004")
+        assert ts == datetime(2004, 6, 22, 14, 37, 5)
+
+    def test_iso(self):
+        assert parse_timestamp("2004-11-23 18:30:30") == datetime(
+            2004, 11, 23, 18, 30, 30)
+
+    def test_date_only(self):
+        assert parse_timestamp("2004-11-23") == datetime(2004, 11, 23)
+
+    def test_epoch(self):
+        ts = parse_timestamp("0")
+        assert ts.year == 1970
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DataTypeError):
+            parse_timestamp("yesterday-ish")
+
+
+class TestDurationParsing:
+    def test_bare_seconds(self):
+        assert parse_duration("90") == 90.0
+
+    def test_minutes(self):
+        assert parse_duration("0.2 min") == pytest.approx(12.0)
+
+    def test_compound(self):
+        assert parse_duration("1h30m") == 5400.0
+
+    def test_hms(self):
+        assert parse_duration("1:30:05") == 5405.0
+
+    def test_ms(self):
+        assert parse_duration("250ms") == 0.25
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(DataTypeError):
+            parse_duration("3 parsecs")
+
+
+class TestVersionParsing:
+    def test_simple(self):
+        assert parse_content("2.6.6", DataType.VERSION) == "2.6.6"
+
+    def test_embedded(self):
+        assert parse_content("OS release : 2.6.6-smp",
+                             DataType.VERSION) == "2.6.6-smp"
+
+    def test_no_version_rejected(self):
+        with pytest.raises(DataTypeError):
+            parse_content("latest", DataType.VERSION)
+
+
+class TestCoerce:
+    def test_int_passthrough(self):
+        assert coerce(5, DataType.INTEGER) == 5
+
+    def test_float_to_int_integral(self):
+        assert coerce(5.0, DataType.INTEGER) == 5
+
+    def test_float_to_int_fractional_rejected(self):
+        with pytest.raises(DataTypeError):
+            coerce(5.5, DataType.INTEGER)
+
+    def test_none_passthrough(self):
+        assert coerce(None, DataType.FLOAT) is None
+
+    def test_string_to_float(self):
+        assert coerce("3.5", DataType.FLOAT) == 3.5
+
+    def test_epoch_to_timestamp(self):
+        ts = coerce(0, DataType.TIMESTAMP)
+        assert isinstance(ts, datetime)
+
+    def test_bool_coercions(self):
+        assert coerce(1, DataType.BOOLEAN) is True
+        assert coerce("no", DataType.BOOLEAN) is False
+
+    def test_number_to_string(self):
+        assert coerce(42, DataType.STRING) == "42"
+
+    def test_duration_number(self):
+        assert coerce(12, DataType.DURATION) == 12.0
+
+
+class TestFormatContent:
+    def test_none_is_empty(self):
+        assert format_content(None, DataType.FLOAT) == ""
+
+    def test_float_repr(self):
+        assert format_content(1.5, DataType.FLOAT) == "1.5"
+
+    def test_timestamp(self):
+        ts = datetime(2004, 11, 23, 18, 30, 30)
+        assert format_content(ts, DataType.TIMESTAMP) == \
+            "2004-11-23 18:30:30"
+
+    def test_boolean(self):
+        assert format_content(True, DataType.BOOLEAN) == "true"
+        assert format_content(False, DataType.BOOLEAN) == "false"
+
+
+class TestSqlType:
+    def test_all_types_mapped(self):
+        for dt in DataType:
+            assert sql_type(dt) in ("INTEGER", "REAL", "TEXT")
+
+    def test_specifics(self):
+        assert sql_type(DataType.FLOAT) == "REAL"
+        assert sql_type(DataType.STRING) == "TEXT"
+        assert sql_type(DataType.BOOLEAN) == "INTEGER"

@@ -1,0 +1,199 @@
+"""Unit tests for the Experiment facade: lifecycle, evolution, access
+enforcement (Sections 3.1, 4.2)."""
+
+import pytest
+
+from repro import Experiment, MemoryServer, Parameter, Result, RunData
+from repro.core import (AccessError, DataType, DefinitionError,
+                        ExperimentInfo, NoSuchRunError, Person, UserClass)
+from repro.core.errors import (ExperimentExistsError,
+                               NoSuchExperimentError)
+
+
+class TestLifecycle:
+    def test_create_and_open(self, server):
+        exp = Experiment.create(server, "demo", [Parameter("x")])
+        exp2 = Experiment.open(server, "demo")
+        assert exp2.name == "demo"
+        assert "x" in exp2.variables
+
+    def test_create_duplicate_rejected(self, server):
+        Experiment.create(server, "demo", [Parameter("x")])
+        with pytest.raises(ExperimentExistsError):
+            Experiment.create(server, "demo", [Parameter("x")])
+
+    def test_open_missing_rejected(self, server):
+        with pytest.raises(NoSuchExperimentError):
+            Experiment.open(server, "ghost")
+
+    def test_drop(self, server):
+        Experiment.create(server, "demo", [Parameter("x")])
+        Experiment.drop(server, "demo")
+        with pytest.raises(NoSuchExperimentError):
+            Experiment.open(server, "demo")
+
+    def test_info_roundtrip(self, server):
+        info = ExperimentInfo(performed_by=Person("Alice", "ACME"),
+                              project="proj", synopsis="syn",
+                              description="desc")
+        exp = Experiment.create(server, "demo", [Parameter("x")], info)
+        loaded = Experiment.open(server, "demo").info
+        assert loaded.performed_by.name == "Alice"
+        assert loaded.project == "proj"
+        assert loaded.synopsis == "syn"
+
+    def test_describe(self, simple_experiment):
+        d = simple_experiment.describe()
+        assert d["name"] == "simple"
+        assert d["n_runs"] == 0
+        assert "technique" in d["parameters"]
+        assert "bw" in d["results"]
+
+
+class TestRuns:
+    def test_store_and_load(self, simple_experiment):
+        idx = simple_experiment.store_run(RunData(
+            once={"technique": "old", "fs": "ufs"},
+            datasets=[{"S_chunk": 32, "access": "write", "bw": 1.0}]))
+        run = simple_experiment.load_run(idx)
+        assert run.once["technique"] == "old"
+        assert run.datasets == [
+            {"S_chunk": 32, "access": "write", "bw": 1.0}]
+
+    def test_indices_sequential(self, simple_experiment):
+        for i in range(3):
+            simple_experiment.store_run(RunData(
+                once={"technique": "old"}))
+        assert simple_experiment.run_indices() == [1, 2, 3]
+
+    def test_delete_run(self, simple_experiment):
+        idx = simple_experiment.store_run(RunData(
+            once={"technique": "old"}))
+        simple_experiment.delete_run(idx)
+        assert simple_experiment.run_indices() == []
+        with pytest.raises(NoSuchRunError):
+            simple_experiment.load_run(idx)
+
+    def test_indices_not_reused_after_delete(self, simple_experiment):
+        a = simple_experiment.store_run(RunData(
+            once={"technique": "old"}))
+        simple_experiment.delete_run(a)
+        b = simple_experiment.store_run(RunData(
+            once={"technique": "new"}))
+        assert b == a + 1
+
+    def test_run_record(self, simple_experiment):
+        idx = simple_experiment.store_run(RunData(
+            once={"technique": "old"},
+            datasets=[{"S_chunk": 1, "access": "read", "bw": 2.0}],
+            source_files=["out.txt"]))
+        record = simple_experiment.run_record(idx)
+        assert record.index == idx
+        assert record.n_datasets == 1
+        assert record.source_files == ("out.txt",)
+
+
+class TestEvolution:
+    def test_add_variable(self, simple_experiment):
+        simple_experiment.store_run(RunData(once={"technique": "old"}))
+        simple_experiment.add_parameter("nodes", datatype="integer")
+        assert "nodes" in simple_experiment.variables
+        # old runs simply have no content for the new variable
+        run = simple_experiment.load_run(1)
+        assert "nodes" not in run.once
+        # new runs can use it
+        idx = simple_experiment.store_run(RunData(
+            once={"technique": "new", "nodes": 4}))
+        assert simple_experiment.load_run(idx).once["nodes"] == 4
+
+    def test_add_multiple_variable(self, simple_experiment):
+        simple_experiment.store_run(RunData(
+            once={"technique": "old"},
+            datasets=[{"S_chunk": 1, "access": "w", "bw": 1.0}]))
+        simple_experiment.add_result("iops", datatype="float",
+                                     occurrence="multiple")
+        idx = simple_experiment.store_run(RunData(
+            once={"technique": "new"},
+            datasets=[{"S_chunk": 1, "access": "w", "bw": 1.0,
+                       "iops": 9.0}]))
+        assert simple_experiment.load_run(idx).datasets[0]["iops"] == 9.0
+
+    def test_add_duplicate_rejected(self, simple_experiment):
+        with pytest.raises(DefinitionError):
+            simple_experiment.add_parameter("technique")
+
+    def test_remove_variable(self, simple_experiment):
+        simple_experiment.store_run(RunData(
+            once={"technique": "old", "fs": "ufs"}))
+        simple_experiment.remove_variable("fs")
+        assert "fs" not in simple_experiment.variables
+        assert "fs" not in simple_experiment.load_run(1).once
+
+    def test_remove_multiple_variable(self, simple_experiment):
+        simple_experiment.store_run(RunData(
+            once={"technique": "old"},
+            datasets=[{"S_chunk": 1, "access": "w", "bw": 1.0}]))
+        simple_experiment.remove_variable("bw")
+        assert simple_experiment.load_run(1).datasets == [
+            {"S_chunk": 1, "access": "w"}]
+
+    def test_modify_variable_metadata(self, simple_experiment):
+        var = Parameter("technique", synopsis="updated")
+        simple_experiment.modify_variable(var)
+        assert simple_experiment.variables["technique"].synopsis == \
+            "updated"
+
+    def test_modify_datatype_rejected(self, simple_experiment):
+        with pytest.raises(DefinitionError, match="datatype"):
+            simple_experiment.modify_variable(
+                Parameter("technique", datatype=DataType.INTEGER))
+
+    def test_modify_occurrence_rejected(self, simple_experiment):
+        with pytest.raises(DefinitionError, match="occurrence"):
+            simple_experiment.modify_variable(
+                Parameter("technique", occurrence="multiple"))
+
+
+class TestAccessEnforcement:
+    def make(self, server):
+        exp = Experiment.create(server, "secure", [Parameter("x")],
+                                user="admin")
+        exp.grant("reader", "query")
+        exp.grant("writer", "input")
+        return exp
+
+    def reopen(self, server, user):
+        return Experiment.open(server, "secure", user=user)
+
+    def test_query_user_cannot_import(self, server):
+        self.make(server)
+        exp = self.reopen(server, "reader")
+        with pytest.raises(AccessError):
+            exp.store_run(RunData(once={"x": "1"}))
+
+    def test_input_user_can_import_but_not_admin(self, server):
+        self.make(server)
+        exp = self.reopen(server, "writer")
+        exp.store_run(RunData(once={"x": "1"}))
+        with pytest.raises(AccessError):
+            exp.add_parameter("y")
+        with pytest.raises(AccessError):
+            exp.delete_run(1)
+
+    def test_stranger_cannot_query(self, server):
+        self.make(server)
+        exp = self.reopen(server, "mallory")
+        with pytest.raises(AccessError):
+            exp.run_indices()
+
+    def test_admin_keeps_rights_after_granting(self, server):
+        exp = self.make(server)
+        assert exp.access.can("admin", UserClass.ADMIN)
+        exp.add_parameter("y")  # still allowed
+
+    def test_revoke(self, server):
+        exp = self.make(server)
+        exp.revoke("reader")
+        reader = self.reopen(server, "reader")
+        with pytest.raises(AccessError):
+            reader.run_indices()

@@ -1,0 +1,30 @@
+"""Unit tests for experiment meta information."""
+
+from repro.core import ExperimentInfo, Person
+
+
+class TestPerson:
+    def test_roundtrip(self):
+        p = Person("Alice", "ACME")
+        assert Person.from_dict(p.as_dict()) == p
+
+    def test_defaults(self):
+        p = Person.from_dict({})
+        assert p.name == "" and p.organization == ""
+
+
+class TestExperimentInfo:
+    def test_roundtrip(self):
+        info = ExperimentInfo(performed_by=Person("A", "B"),
+                              project="p", synopsis="s",
+                              description="d")
+        back = ExperimentInfo.from_dict(info.as_dict())
+        assert back.performed_by == info.performed_by
+        assert back.project == "p"
+        assert back.synopsis == "s"
+        assert back.description == "d"
+
+    def test_defaults(self):
+        info = ExperimentInfo.from_dict({})
+        assert info.performed_by.name == ""
+        assert info.project == ""

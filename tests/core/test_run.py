@@ -1,0 +1,99 @@
+"""Unit tests for RunData validation and merging (Section 3 / Fig. 1d)."""
+
+import pytest
+
+from repro.core import (InputError, Parameter, Result, RunData,
+                        VariableSet)
+
+
+def variables():
+    return VariableSet([
+        Parameter("t", datatype="integer"),
+        Parameter("fs", default="unknown"),
+        Parameter("size", datatype="integer", occurrence="multiple"),
+        Result("bw", datatype="float", occurrence="multiple"),
+    ])
+
+
+class TestValidate:
+    def test_coerces_once_values(self):
+        run = RunData(once={"t": "10s"}, datasets=[])
+        run.validate(variables())
+        assert run.once["t"] == 10
+
+    def test_coerces_dataset_values(self):
+        run = RunData(once={"t": 1},
+                      datasets=[{"size": "32", "bw": "1.5"}])
+        run.validate(variables())
+        assert run.datasets[0] == {"size": 32, "bw": 1.5}
+
+    def test_defaults_applied(self):
+        run = RunData(once={"t": 1}, datasets=[])
+        missing = run.validate(variables())
+        assert run.once["fs"] == "unknown"
+        assert "fs" not in missing
+
+    def test_defaults_suppressed(self):
+        run = RunData(once={"t": 1}, datasets=[])
+        missing = run.validate(variables(), use_defaults=False)
+        assert "fs" in missing
+        assert "fs" not in run.once
+
+    def test_missing_reported(self):
+        run = RunData(once={}, datasets=[])
+        missing = run.validate(variables())
+        assert set(missing) == {"t", "size", "bw"}
+
+    def test_require_all_raises(self):
+        run = RunData(once={"t": 1}, datasets=[])
+        with pytest.raises(InputError, match="no content"):
+            run.validate(variables(), require_all=True)
+
+    def test_unknown_variable_rejected(self):
+        run = RunData(once={"nope": 1})
+        with pytest.raises(Exception):
+            run.validate(variables())
+
+    def test_once_variable_in_dataset_rejected(self):
+        run = RunData(once={"t": 1}, datasets=[{"t": 2}])
+        with pytest.raises(InputError, match="once-variable"):
+            run.validate(variables())
+
+    def test_multi_variable_as_once_rejected(self):
+        run = RunData(once={"t": 1, "bw": 3.0})
+        with pytest.raises(InputError, match="once-content"):
+            run.validate(variables())
+
+
+class TestMerge:
+    def test_merges_once_and_datasets(self):
+        a = RunData(once={"t": 1}, datasets=[{"size": 1, "bw": 1.0}],
+                    source_files=["a.txt"])
+        b = RunData(once={"fs": "ufs"},
+                    datasets=[{"size": 2, "bw": 2.0}],
+                    source_files=["b.txt"])
+        a.merge(b)
+        assert a.once == {"t": 1, "fs": "ufs"}
+        assert len(a.datasets) == 2
+        assert a.source_files == ["a.txt", "b.txt"]
+
+    def test_identical_once_values_allowed(self):
+        a = RunData(once={"t": 1})
+        a.merge(RunData(once={"t": 1}))
+        assert a.once == {"t": 1}
+
+    def test_conflicting_once_values_rejected(self):
+        a = RunData(once={"t": 1})
+        with pytest.raises(InputError, match="conflicting"):
+            a.merge(RunData(once={"t": 2}))
+
+    def test_checksums_merged(self):
+        a = RunData()
+        a.file_checksums["a"] = "x"
+        b = RunData()
+        b.file_checksums["b"] = "y"
+        a.merge(b)
+        assert a.file_checksums == {"a": "x", "b": "y"}
+
+    def test_len_is_dataset_count(self):
+        assert len(RunData(datasets=[{}, {}])) == 2

@@ -1,0 +1,150 @@
+"""Unit tests for the unit model (Fig. 5: "Units are defined such that
+they can be converted correctly")."""
+
+import pytest
+
+from repro.core import BaseUnit, Unit, UnitError
+from repro.core.units import DIMENSIONLESS, SCALINGS
+
+
+class TestBaseUnit:
+    def test_simple(self):
+        u = BaseUnit("byte")
+        assert u.dimension == "information"
+        assert u.factor == 1.0
+        assert u.symbol == "byte"
+
+    def test_scaled(self):
+        u = BaseUnit("byte", "Mega")
+        assert u.factor == 1e6
+        assert u.symbol == "Mbyte"
+
+    def test_binary_scaled(self):
+        u = BaseUnit("byte", "Mebi")
+        assert u.factor == 2.0 ** 20
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(UnitError):
+            BaseUnit("furlong")
+
+    def test_unknown_scaling_rejected(self):
+        with pytest.raises(UnitError):
+            BaseUnit("byte", "Jumbo")
+
+    def test_minutes_factor(self):
+        assert BaseUnit("min").factor == 60.0
+
+
+class TestUnitAlgebra:
+    def test_fraction(self):
+        bw = Unit.fraction(BaseUnit("byte", "Mega"), BaseUnit("s"))
+        assert bw.dimension == {"information": 1, "time": -1}
+        assert bw.symbol == "Mbyte/s"
+
+    def test_multiplication(self):
+        a = Unit.base("byte")
+        b = Unit.base("s")
+        prod = a * b
+        assert prod.dimension == {"information": 1, "time": 1}
+
+    def test_division(self):
+        rate = Unit.base("byte") / Unit.base("s")
+        assert rate.dimension == {"information": 1, "time": -1}
+
+    def test_invert(self):
+        freq = Unit.base("s").invert()
+        assert freq.dimension == {"time": -1}
+
+    def test_dimension_cancellation(self):
+        ratio = Unit.base("byte") / Unit.base("byte")
+        assert ratio.dimension == {}
+
+
+class TestConversion:
+    def test_kb_to_mb(self):
+        kb = Unit.parse("KB/s")
+        mb = Unit.parse("MB/s")
+        assert kb.convert(1000.0, mb) == pytest.approx(1.0)
+
+    def test_minutes_to_seconds(self):
+        assert Unit.base("min").convert(2.0, Unit.base("s")) == 120.0
+
+    def test_bits_to_bytes(self):
+        assert Unit.base("bit").convert(8.0,
+                                        Unit.base("byte")) == \
+            pytest.approx(1.0)
+
+    def test_mib_vs_mb(self):
+        mib = Unit.base("byte", "Mebi")
+        mb = Unit.base("byte", "Mega")
+        assert mib.convert(1.0, mb) == pytest.approx(1.048576)
+
+    def test_incompatible_raises(self):
+        with pytest.raises(UnitError, match="cannot convert"):
+            Unit.base("byte").convert(1.0, Unit.base("s"))
+
+    def test_process_does_not_convert_to_node(self):
+        # countables are separate dimensions on purpose
+        with pytest.raises(UnitError):
+            Unit.base("process").convert(1.0, Unit.base("node"))
+
+    def test_percent(self):
+        pct = Unit.base("percent")
+        one = Unit.base("1")
+        assert pct.convert(50.0, one) == pytest.approx(0.5)
+
+    def test_roundtrip_factor(self):
+        a, b = Unit.parse("KB/s"), Unit.parse("GB/s")
+        assert a.conversion_factor(b) * b.conversion_factor(a) == \
+            pytest.approx(1.0)
+
+
+class TestUnitParsing:
+    def test_empty_is_dimensionless(self):
+        assert Unit.parse("") == DIMENSIONLESS
+        assert Unit.parse("1") == DIMENSIONLESS
+
+    def test_simple_symbol(self):
+        assert Unit.parse("s").dimension == {"time": 1}
+
+    def test_prefixed_symbol(self):
+        assert Unit.parse("MB").factor == 1e6
+
+    def test_binary_prefix_symbol(self):
+        assert Unit.parse("KiB").factor == 1024.0
+
+    def test_prefix_word(self):
+        assert Unit.parse("Mega byte").factor == 1e6
+
+    def test_fraction_text(self):
+        u = Unit.parse("MB/s")
+        assert u.dimension == {"information": 1, "time": -1}
+
+    def test_beffio_mbytes_is_binary(self):
+        # Fig. 4 header: 1MBytes = 1024*1024 bytes
+        assert Unit.parse("MBytes").factor == 2.0 ** 20
+
+    def test_product(self):
+        u = Unit.parse("byte * s")
+        assert u.dimension == {"information": 1, "time": 1}
+
+    def test_unparseable_rejected(self):
+        with pytest.raises(UnitError):
+            Unit.parse("wibble")
+
+
+class TestSymbols:
+    def test_dimensionless_symbol_empty(self):
+        assert DIMENSIONLESS.symbol == ""
+
+    def test_fraction_symbol(self):
+        assert Unit.parse("MB/s").symbol == "MB/s"
+
+    def test_scalings_table_consistent(self):
+        for name, (symbol, factor) in SCALINGS.items():
+            assert factor > 0
+            if name:
+                assert symbol
+
+    def test_str(self):
+        assert str(Unit.base("s")) == "s"

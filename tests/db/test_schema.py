@@ -1,0 +1,152 @@
+"""Unit tests for the experiment store: schema layout (Section 4.2),
+run storage, variable serialisation and the duplicate-import guard."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core import (DataType, Parameter, Result, RunData, Unit,
+                        VariableSet)
+from repro.core.errors import DatabaseError, NoSuchRunError
+from repro.db import (ExperimentStore, SQLiteDatabase, variable_from_json,
+                      variable_to_json)
+
+
+@pytest.fixture
+def store():
+    s = ExperimentStore(SQLiteDatabase())
+    s.initialise("demo")
+    return s
+
+
+def varset():
+    return VariableSet([
+        Parameter("t", datatype="integer"),
+        Parameter("when", datatype="timestamp"),
+        Parameter("flag", datatype="boolean"),
+        Parameter("size", datatype="integer", occurrence="multiple"),
+        Result("bw", datatype="float", occurrence="multiple"),
+    ])
+
+
+class TestSchemaLayout:
+    def test_meta_tables_created(self, store):
+        tables = store.db.list_tables()
+        # "Each experiment database has some tables for meta information
+        # and one table for parameters and results with a unique
+        # occurrence per run" (Section 4.2)
+        for expected in ("pb_meta", "pb_variables", "pb_runs",
+                         "pb_run_files", "pb_once"):
+            assert expected in tables
+
+    def test_double_initialise_rejected(self, store):
+        with pytest.raises(DatabaseError):
+            store.initialise("again")
+
+    def test_per_run_table_created(self, store):
+        # "For each new run, one table is created which contains the
+        # tabular data."
+        store.save_variables(varset())
+        store.store_run(RunData(once={"t": 1},
+                                datasets=[{"size": 2, "bw": 1.5}]),
+                        varset())
+        assert store.db.table_exists("rundata_1")
+
+    def test_meta_kv(self, store):
+        store.set_meta("k", {"nested": [1, 2]})
+        assert store.get_meta("k") == {"nested": [1, 2]}
+        assert store.get_meta("missing", "dflt") == "dflt"
+        store.set_meta("k", "replaced")
+        assert store.get_meta("k") == "replaced"
+
+
+class TestVariableSerialisation:
+    def test_roundtrip_all_fields(self):
+        var = Result("bw", datatype=DataType.FLOAT,
+                     synopsis="bandwidth", description="desc",
+                     occurrence="multiple", unit=Unit.parse("MB/s"),
+                     valid_values=(1.0, 2.0), default=1.0)
+        back = variable_from_json(variable_to_json(var))
+        assert back == var
+        assert back.is_result
+
+    def test_roundtrip_timestamp_default(self):
+        var = Parameter("when", datatype="timestamp",
+                        default=datetime(2004, 11, 23, 18, 30, 30))
+        back = variable_from_json(variable_to_json(var))
+        assert back.default == datetime(2004, 11, 23, 18, 30, 30)
+
+    def test_save_load_variables(self, store):
+        store.save_variables(varset())
+        assert store.load_variables() == varset()
+
+
+class TestRunStorage:
+    def test_roundtrip_types(self, store):
+        store.save_variables(varset())
+        when = datetime(2004, 11, 23, 18, 30, 30)
+        run = RunData(once={"t": 10, "when": when, "flag": True},
+                      datasets=[{"size": 32, "bw": 1.5},
+                                {"size": 64, "bw": 2.5}])
+        idx = store.store_run(run, varset())
+        back = store.load_run(idx)
+        assert back.once == {"t": 10, "when": when, "flag": True}
+        assert back.datasets == [{"size": 32, "bw": 1.5},
+                                 {"size": 64, "bw": 2.5}]
+
+    def test_none_values_dropped_on_load(self, store):
+        store.save_variables(varset())
+        idx = store.store_run(RunData(once={"t": 1},
+                                      datasets=[{"size": 1}]),
+                              varset())
+        back = store.load_run(idx)
+        assert "bw" not in back.datasets[0]
+        assert "when" not in back.once
+
+    def test_dataset_order_preserved(self, store):
+        store.save_variables(varset())
+        sizes = list(range(50, 0, -1))
+        idx = store.store_run(
+            RunData(once={"t": 1},
+                    datasets=[{"size": s, "bw": float(s)}
+                              for s in sizes]), varset())
+        back = store.load_datasets(idx)
+        assert [d["size"] for d in back] == sizes
+
+    def test_missing_run_raises(self, store):
+        store.save_variables(varset())
+        with pytest.raises(NoSuchRunError):
+            store.load_run(99)
+        with pytest.raises(NoSuchRunError):
+            store.run_record(99)
+        with pytest.raises(NoSuchRunError):
+            store.delete_run(99)
+
+    def test_delete_drops_table(self, store):
+        store.save_variables(varset())
+        idx = store.store_run(RunData(once={"t": 1},
+                                      datasets=[{"size": 1, "bw": 1.0}]),
+                              varset())
+        store.delete_run(idx)
+        assert not store.db.table_exists(f"rundata_{idx}")
+        assert store.run_indices() == []
+        assert store.run_indices(include_inactive=True) == [idx]
+
+
+class TestDuplicateGuard:
+    def test_checksum_recorded_and_found(self, store):
+        store.save_variables(varset())
+        run = RunData(once={"t": 1}, source_files=["out.txt"])
+        run.file_checksums["out.txt"] = "abc123"
+        idx = store.store_run(run, varset())
+        assert store.find_import("abc123") == idx
+        assert store.find_import("other") is None
+
+    def test_deleted_run_checksum_forgotten(self, store):
+        store.save_variables(varset())
+        run = RunData(once={"t": 1}, source_files=["out.txt"])
+        run.file_checksums["out.txt"] = "abc123"
+        idx = store.store_run(run, varset())
+        store.delete_run(idx)
+        # a deleted run's file may be imported again
+        assert store.find_import("abc123") is None

@@ -1,0 +1,157 @@
+"""Unit tests for the SQLite servers and the registered SQL aggregates
+(the PostgreSQL-parity statistics functions of Section 4.2)."""
+
+import statistics
+import threading
+
+import pytest
+
+from repro.core.errors import (ExperimentExistsError,
+                               NoSuchExperimentError)
+from repro.db import MemoryServer, SQLiteDatabase, SQLiteServer
+
+
+class TestMemoryServer:
+    def test_create_open(self):
+        srv = MemoryServer()
+        db = srv.create_database("x")
+        assert srv.open_database("x") is db
+
+    def test_duplicate_rejected(self):
+        srv = MemoryServer()
+        srv.create_database("x")
+        with pytest.raises(ExperimentExistsError):
+            srv.create_database("x")
+
+    def test_missing_rejected(self):
+        with pytest.raises(NoSuchExperimentError):
+            MemoryServer().open_database("ghost")
+
+    def test_drop(self):
+        srv = MemoryServer()
+        srv.create_database("x")
+        srv.drop_database("x")
+        assert srv.list_databases() == []
+        with pytest.raises(NoSuchExperimentError):
+            srv.drop_database("x")
+
+    def test_list_sorted(self):
+        srv = MemoryServer()
+        srv.create_database("b")
+        srv.create_database("a")
+        assert srv.list_databases() == ["a", "b"]
+
+    def test_has_database(self):
+        srv = MemoryServer()
+        srv.create_database("x")
+        assert srv.has_database("x")
+        assert not srv.has_database("y")
+
+
+class TestSQLiteServer:
+    def test_file_backed_roundtrip(self, tmp_path):
+        srv = SQLiteServer(tmp_path)
+        db = srv.create_database("exp")
+        db.create_table("t", [("a", "INTEGER")])
+        db.insert_rows("t", ["a"], [(1,)])
+        db.commit()
+        db.close()
+        db2 = SQLiteServer(tmp_path).open_database("exp")
+        assert db2.count_rows("t") == 1
+
+    def test_create_duplicate_rejected(self, tmp_path):
+        srv = SQLiteServer(tmp_path)
+        srv.create_database("exp")
+        with pytest.raises(ExperimentExistsError):
+            srv.create_database("exp")
+
+    def test_drop_removes_file(self, tmp_path):
+        srv = SQLiteServer(tmp_path)
+        srv.create_database("exp").close()
+        srv.drop_database("exp")
+        assert not (tmp_path / "exp.db").exists()
+
+    def test_list(self, tmp_path):
+        srv = SQLiteServer(tmp_path)
+        srv.create_database("b").close()
+        srv.create_database("a").close()
+        assert srv.list_databases() == ["a", "b"]
+
+    def test_invalid_name_rejected(self, tmp_path):
+        srv = SQLiteServer(tmp_path)
+        with pytest.raises(Exception):
+            srv.create_database("../evil")
+
+
+class TestRegisteredAggregates:
+    """pb_stddev / pb_variance / pb_median / pb_product."""
+
+    def setup_method(self):
+        self.db = SQLiteDatabase()
+        self.db.create_table("t", [("v", "REAL"), ("g", "TEXT")])
+        self.values = [1.0, 2.0, 3.0, 4.0, 10.0]
+        self.db.insert_rows("t", ["v", "g"],
+                            [(v, "a") for v in self.values])
+
+    def q(self, expr):
+        return self.db.fetchone(f"SELECT {expr} FROM t")[0]
+
+    def test_stddev_matches_statistics(self):
+        assert self.q("pb_stddev(v)") == pytest.approx(
+            statistics.stdev(self.values))
+
+    def test_variance_matches_statistics(self):
+        assert self.q("pb_variance(v)") == pytest.approx(
+            statistics.variance(self.values))
+
+    def test_median_odd(self):
+        assert self.q("pb_median(v)") == 3.0
+
+    def test_median_even(self):
+        self.db.insert_rows("t", ["v", "g"], [(5.0, "a")])
+        assert self.q("pb_median(v)") == 3.5
+
+    def test_product(self):
+        assert self.q("pb_product(v)") == pytest.approx(240.0)
+
+    def test_null_values_ignored(self):
+        self.db.insert_rows("t", ["v", "g"], [(None, "a")])
+        assert self.q("pb_stddev(v)") == pytest.approx(
+            statistics.stdev(self.values))
+
+    def test_single_value_stddev_zero(self):
+        self.db.execute("DELETE FROM t")
+        self.db.insert_rows("t", ["v", "g"], [(7.0, "a")])
+        assert self.q("pb_stddev(v)") == 0.0
+
+    def test_empty_returns_null(self):
+        self.db.execute("DELETE FROM t")
+        assert self.q("pb_stddev(v)") is None
+        assert self.q("pb_median(v)") is None
+        assert self.q("pb_product(v)") is None
+
+    def test_group_by(self):
+        self.db.insert_rows("t", ["v", "g"], [(100.0, "b"),
+                                              (102.0, "b")])
+        rows = dict(self.db.fetchall(
+            "SELECT g, pb_median(v) FROM t GROUP BY g"))
+        assert rows["a"] == 3.0
+        assert rows["b"] == 101.0
+
+
+class TestThreadSafety:
+    def test_concurrent_inserts(self):
+        db = SQLiteDatabase()
+        db.create_table("t", [("a", "INTEGER")])
+
+        def worker(base):
+            for i in range(100):
+                db.insert_rows("t", ["a"], [(base + i,)])
+
+        threads = [threading.Thread(target=worker, args=(k * 1000,))
+                   for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert db.count_rows("t") == 400

@@ -1,0 +1,58 @@
+"""Unit tests for the temp-table manager (element communication,
+Section 4.2)."""
+
+from repro.db import SQLiteDatabase, TempTableManager
+
+
+class TestTempTableManager:
+    def test_unique_names(self):
+        db = SQLiteDatabase()
+        mgr = TempTableManager(db)
+        a = mgr.new_table("src", [("x", "INTEGER")])
+        b = mgr.new_table("src", [("x", "INTEGER")])
+        assert a != b
+        assert db.table_exists(a) and db.table_exists(b)
+
+    def test_element_name_sanitised(self):
+        db = SQLiteDatabase()
+        mgr = TempTableManager(db)
+        name = mgr.new_table("weird name!", [("x", "INTEGER")])
+        assert db.table_exists(name)
+
+    def test_drop_all(self):
+        db = SQLiteDatabase()
+        mgr = TempTableManager(db)
+        names = [mgr.new_table("e", [("x", "INTEGER")])
+                 for _ in range(3)]
+        mgr.drop_all()
+        for name in names:
+            assert not db.table_exists(name)
+        assert mgr.tables == []
+
+    def test_context_manager(self):
+        db = SQLiteDatabase()
+        with TempTableManager(db) as mgr:
+            name = mgr.new_table("e", [("x", "INTEGER")])
+            assert db.table_exists(name)
+        assert not db.table_exists(name)
+
+    def test_adopt(self):
+        db = SQLiteDatabase()
+        db.create_table("external", [("x", "INTEGER")])
+        mgr = TempTableManager(db)
+        mgr.adopt("external")
+        mgr.drop_all()
+        assert not db.table_exists("external")
+
+    def test_row_count(self):
+        db = SQLiteDatabase()
+        mgr = TempTableManager(db)
+        name = mgr.new_table("e", [("x", "INTEGER")])
+        db.insert_rows(name, ["x"], [(1,), (2,)])
+        assert mgr.row_count(name) == 2
+
+    def test_prefix_used(self):
+        db = SQLiteDatabase()
+        mgr = TempTableManager(db, prefix="myq")
+        name = mgr.new_table("e", [("x", "INTEGER")])
+        assert name.startswith("myq_")

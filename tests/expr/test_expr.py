@@ -1,0 +1,156 @@
+"""Unit tests for the expression engine (lexer, parser, evaluator)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ExpressionError
+from repro.expr import Expression, evaluate, parse, tokenize
+from repro.expr.lexer import TokenType
+
+
+class TestLexer:
+    def test_tokens(self):
+        toks = tokenize("a + 2.5e3 * (b)")
+        kinds = [t.type for t in toks]
+        assert kinds == [TokenType.NAME, TokenType.OP, TokenType.NUMBER,
+                         TokenType.OP, TokenType.LPAREN, TokenType.NAME,
+                         TokenType.RPAREN, TokenType.END]
+
+    def test_two_char_ops(self):
+        toks = tokenize("a ** b <= c")
+        ops = [t.text for t in toks if t.type is TokenType.OP]
+        assert ops == ["**", "<="]
+
+    def test_bad_character(self):
+        with pytest.raises(ExpressionError, match="unexpected"):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_precedence(self):
+        assert evaluate("2 + 3 * 4") == 14
+
+    def test_parentheses(self):
+        assert evaluate("(2 + 3) * 4") == 20
+
+    def test_power_right_associative(self):
+        assert evaluate("2 ** 3 ** 2") == 512
+
+    def test_caret_is_power(self):
+        assert evaluate("2 ^ 10") == 1024
+
+    def test_unary_minus(self):
+        assert evaluate("-3 + 5") == 2
+        assert evaluate("--3") == 3
+
+    def test_unary_binds_tighter_than_mul(self):
+        assert evaluate("-2 * 3") == -6
+
+    def test_comparison(self):
+        assert evaluate("3 > 2") == True  # noqa: E712 (numpy bool)
+        assert evaluate("3 <= 2") == False  # noqa: E712
+
+    def test_floor_div_mod(self):
+        assert evaluate("7 // 2") == 3
+        assert evaluate("7 % 3") == 1
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse("1 + 2 )")
+
+    def test_incomplete_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse("1 +")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse("")
+
+
+class TestEvaluation:
+    def test_variables(self):
+        assert evaluate("a * b", {"a": 6, "b": 7}) == 42
+
+    def test_kwargs(self):
+        assert evaluate("x + 1", x=1) == 2
+
+    def test_constants(self):
+        assert evaluate("pi") == pytest.approx(math.pi)
+        assert evaluate("e") == pytest.approx(math.e)
+
+    def test_variable_shadows_constant(self):
+        assert evaluate("pi", {"pi": 3}) == 3
+
+    def test_missing_variable(self):
+        with pytest.raises(ExpressionError, match="needs values"):
+            evaluate("a + b", {"a": 1})
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError, match="unknown function"):
+            evaluate("frobnicate(1)")
+
+    def test_functions(self):
+        assert evaluate("sqrt(16)") == 4
+        assert evaluate("log2(8)") == 3
+        assert evaluate("abs(-5)") == 5
+        assert evaluate("max(2, 9)") == 9
+        assert evaluate("min(2, 9)") == 2
+        assert evaluate("pow(2, 5)") == 32
+
+    def test_no_python_eval_access(self):
+        # the grammar has no attribute access, strings or imports
+        with pytest.raises(ExpressionError):
+            evaluate("__import__('os')")
+        with pytest.raises(ExpressionError):
+            parse("a.b")
+
+    def test_expression_variables_property(self):
+        e = Expression("a * log(b) + pi")
+        assert e.variables == {"a", "b"}
+
+    def test_vectorised_over_arrays(self):
+        e = Expression("a * 2 + b")
+        out = e({"a": np.array([1.0, 2.0]), "b": np.array([10.0, 20.0])})
+        assert list(out) == [12.0, 24.0]
+
+    def test_broadcasting(self):
+        e = Expression("a + b")
+        out = e({"a": np.array([1.0, 2.0, 3.0]), "b": 1.0})
+        assert list(out) == [2.0, 3.0, 4.0]
+
+    def test_scalar_result_unboxed(self):
+        result = evaluate("sqrt(4)")
+        assert isinstance(result, float)
+
+    def test_reuse(self):
+        e = Expression("n * 2")
+        assert e(n=1) == 2
+        assert e(n=5) == 10
+
+    def test_derived_parameter_style(self):
+        # the kind of expression an input description uses
+        assert evaluate("S_chunk * N_proc / 2**20",
+                        {"S_chunk": 1048576, "N_proc": 4}) == 4.0
+
+
+class TestPrecedenceEdgeCases:
+    def test_unary_minus_with_power(self):
+        # matches Python: -2**2 == -(2**2)
+        assert evaluate("-2 ** 2") == -4
+
+    def test_power_of_negative(self):
+        assert evaluate("(-2) ** 2") == 4
+
+    def test_mixed_chain(self):
+        assert evaluate("2 + 3 * 4 ** 2 - 1") == 2 + 3 * 16 - 1
+
+    def test_division_chain_left_assoc(self):
+        assert evaluate("100 / 5 / 2") == 10
+
+    def test_subtraction_chain_left_assoc(self):
+        assert evaluate("10 - 3 - 2") == 5
+
+    def test_comparison_of_expressions(self):
+        assert evaluate("2 * 3 >= 5 + 1") == True  # noqa: E712

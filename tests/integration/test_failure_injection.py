@@ -1,0 +1,171 @@
+"""Failure-injection tests: corrupt and partial inputs, concurrent
+imports, schema evolution mid-campaign.
+
+Section 1 motivates perfbase with exactly this robustness: ASCII files
+remain "usable even when parts of the file are corrupted", and batch
+imports must survive "corrupt or incomplete input files".
+"""
+
+import threading
+
+import pytest
+
+from repro import Experiment, MemoryServer
+from repro.core import Result, RunData
+from repro.parse import Importer, MissingPolicy
+from repro.workloads.beffio import BeffIOConfig, BeffIOSimulator
+from repro.workloads.beffio_assets import experiment_xml, input_xml
+from repro.xmlio import parse_experiment_xml, parse_input_xml
+
+
+@pytest.fixture
+def exp_and_importer(server):
+    definition = parse_experiment_xml(experiment_xml())
+    exp = Experiment.create(server, "robust",
+                            list(definition.variables))
+    importer = Importer(exp, parse_input_xml(input_xml()))
+    return exp, importer
+
+
+def full_output(seed=1):
+    return BeffIOSimulator(BeffIOConfig(seed=seed)).generate()
+
+
+class TestCorruptInputs:
+    def test_truncated_mid_table(self, exp_and_importer):
+        exp, importer = exp_and_importer
+        text = full_output()
+        # cut the file in the middle of the bandwidth table (at the
+        # first large-chunk write row)
+        cut = text.index("1048576")
+        report = importer.import_text(text[:cut], "truncated.sum")
+        # the partial file still yields a run with the rows before the
+        # cut (the "still usable even when parts ... are corrupted"
+        # property)
+        assert report.n_imported == 1
+        run = exp.load_run(report.run_indices[0])
+        assert 0 < len(run.datasets) < 24
+        assert run.once["T"] == 10  # header survived
+
+    def test_binary_garbage_is_harmless(self, exp_and_importer):
+        exp, importer = exp_and_importer
+        garbage = "\x00\xff" * 512 + "\nrandom text\n"
+        report = importer.import_text(garbage, "garbage.bin")
+        # nothing matches; with the default policy an (empty) run is
+        # created and every variable reported missing
+        assert report.n_imported == 1
+        assert len(report.missing[report.run_indices[0]]) > 5
+
+    def test_discard_policy_drops_garbage(self, server):
+        definition = parse_experiment_xml(experiment_xml())
+        exp = Experiment.create(server, "strict",
+                                list(definition.variables))
+        importer = Importer(exp, parse_input_xml(input_xml()),
+                            missing=MissingPolicy.DISCARD)
+        report = importer.import_text("not a benchmark output",
+                                      "junk.txt")
+        assert report.n_imported == 0
+        assert report.discarded == 1
+        assert exp.n_runs() == 0
+
+    def test_batch_survives_mixed_quality(self, server, tmp_path):
+        definition = parse_experiment_xml(experiment_xml())
+        exp = Experiment.create(server, "mixed",
+                                list(definition.variables))
+        importer = Importer(exp, parse_input_xml(input_xml()),
+                            missing=MissingPolicy.DISCARD)
+        files = []
+        names = [BeffIOConfig(seed=1).filename, "junk.txt",
+                 BeffIOConfig(seed=2, run_number=2).filename,
+                 "duplicate_" + BeffIOConfig(seed=1).filename]
+        for name, content in zip(names, [
+                full_output(seed=1),
+                "garbage",
+                full_output(seed=2),
+                full_output(seed=1),  # duplicate of the first
+        ]):
+            p = tmp_path / name
+            p.write_text(content)
+            files.append(p)
+        report = importer.import_files(files)
+        assert report.n_imported == 2
+        assert report.discarded == 1
+        assert len(report.duplicates) == 1
+
+    def test_injected_nan_and_broken_cells(self, exp_and_importer):
+        exp, importer = exp_and_importer
+        text = full_output()
+        # break a few numeric cells in the table
+        broken = text.replace(" write ", " wr!te ", 1)
+        report = importer.import_text(broken, "broken.sum")
+        assert report.n_imported == 1
+        run = exp.load_run(report.run_indices[0])
+        # the damaged row is dropped, the others survive
+        assert len(run.datasets) == 23
+
+
+class TestSchemaEvolutionMidCampaign:
+    def test_old_and_new_runs_coexist(self, exp_and_importer):
+        exp, importer = exp_and_importer
+        importer.import_text(full_output(seed=1), "old.sum")
+        exp.add_variable(Result("iops", datatype="float",
+                                occurrence="multiple"))
+        importer.import_text(full_output(seed=2), "new.sum")
+        # queries over the old result still see both runs
+        from repro.query import (Operator, Output, ParameterSpec,
+                                 Query, Source)
+        q = Query([
+            Source("s", parameters=[ParameterSpec("S_chunk")],
+                   results=["B_scatter"], include_run_index=True),
+            Output("o", ["s"], format="csv"),
+        ])
+        v = q.execute(exp, keep_temp_tables=True).vectors["s"]
+        assert set(v.values("run_index")) == {1, 2}
+
+    def test_removing_variable_does_not_break_queries(
+            self, exp_and_importer):
+        exp, importer = exp_and_importer
+        importer.import_text(full_output(seed=1), "a.sum")
+        exp.remove_variable("B_segcoll")
+        from repro.query import (Operator, Output, ParameterSpec,
+                                 Query, Source)
+        q = Query([
+            Source("s", parameters=[ParameterSpec("S_chunk")],
+                   results=["B_scatter"]),
+            Operator("m", "avg", ["s"]),
+            Output("o", ["m"], format="csv"),
+        ])
+        result = q.execute(exp)
+        assert result.artifacts
+
+
+class TestConcurrentImports:
+    def test_parallel_importers_no_corruption(self, server):
+        definition = parse_experiment_xml(experiment_xml())
+        exp = Experiment.create(server, "concurrent",
+                                list(definition.variables))
+        description = parse_input_xml(input_xml())
+        errors = []
+
+        def worker(base):
+            importer = Importer(exp, description)
+            for i in range(5):
+                try:
+                    cfg = BeffIOConfig(seed=base * 100 + i,
+                                       run_number=base * 100 + i)
+                    importer.import_text(
+                        BeffIOSimulator(cfg).generate(), cfg.filename)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,))
+                   for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert exp.n_runs() == 20
+        # every run's data table exists and has 24 rows
+        for index in exp.run_indices():
+            assert exp.run_record(index).n_datasets == 24

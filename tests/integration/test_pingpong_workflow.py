@@ -1,0 +1,86 @@
+"""Integration test: the second XML-driven scenario (MPI ping-pong).
+
+Exercises the same end-to-end path as the b_eff_io workflow on a
+different file format, including the errorbars gnuplot style and the
+crossover analysis between interconnects.
+"""
+
+import pytest
+
+from repro import Experiment, MemoryServer
+from repro.parse import Importer
+from repro.workloads.mpibench import (MESSAGE_SIZES, PingPongConfig,
+                                      PingPongSimulator)
+from repro.workloads.mpibench_assets import (crossover_query_xml,
+                                             experiment_xml, input_xml,
+                                             latency_query_xml)
+from repro.xmlio import (parse_experiment_xml, parse_input_xml,
+                         parse_query_xml)
+
+
+@pytest.fixture
+def pingpong_experiment(server):
+    definition = parse_experiment_xml(experiment_xml())
+    exp = Experiment.create(server, definition.name,
+                            list(definition.variables),
+                            definition.info)
+    importer = Importer(exp, parse_input_xml(input_xml()))
+    for interconnect in ("myrinet", "gige"):
+        for seed in range(4):
+            cfg = PingPongConfig(interconnect=interconnect,
+                                 hostpair=f"n{seed:02d}-n{seed + 1:02d}",
+                                 seed=seed)
+            sim = PingPongSimulator(cfg)
+            report = importer.import_text(sim.generate(),
+                                          sim.filename)
+            assert report.n_imported == 1
+    return exp
+
+
+class TestImport:
+    def test_all_values_extracted(self, pingpong_experiment):
+        run = pingpong_experiment.load_run(1)
+        assert run.once["library"] == "mpi-a"
+        assert run.once["version"] == "1.0"
+        assert run.once["interconnect"] == "myrinet"
+        assert run.once["eager_limit"] == 16384
+        assert len(run.datasets) == len(MESSAGE_SIZES)
+        sizes = [ds["bytes"] for ds in run.datasets]
+        assert sizes == sorted(sizes)
+
+    def test_eight_runs(self, pingpong_experiment):
+        assert pingpong_experiment.n_runs() == 8
+
+
+class TestLatencyCurve:
+    def test_errorbars_chart(self, pingpong_experiment):
+        q = parse_query_xml(latency_query_xml())
+        result = q.execute(pingpong_experiment)
+        gp = result.artifact("plot.gp").content
+        assert "with yerrorbars" in gp
+        assert "set logscale x" in gp
+        table = result.artifact("table.txt").content
+        assert f"({len(MESSAGE_SIZES)} rows)" in table
+
+    def test_latency_monotone_in_size(self, pingpong_experiment):
+        q = parse_query_xml(latency_query_xml())
+        result = q.execute(pingpong_experiment,
+                           keep_temp_tables=True)
+        rows = result.vectors["mean"].dicts(order_by=["bytes"])
+        big = [r for r in rows if r["bytes"] >= 4096]
+        for a, b in zip(big, big[1:]):
+            assert b["latency"] > a["latency"]
+
+
+class TestCrossover:
+    def test_myrinet_beats_gige_everywhere(self, pingpong_experiment):
+        q = parse_query_xml(crossover_query_xml())
+        result = q.execute(pingpong_experiment,
+                           keep_temp_tables=True)
+        rows = result.vectors["rel"].dicts(order_by=["bytes"])
+        # below(a, b) = 100*(b-a)/b: positive means myrinet is faster
+        assert all(r["latency"] > 0 for r in rows)
+        # the advantage shrinks as messages grow bandwidth-bound
+        small = next(r for r in rows if r["bytes"] == 64)
+        large = next(r for r in rows if r["bytes"] == 4194304)
+        assert small["latency"] > large["latency"]

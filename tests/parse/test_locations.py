@@ -1,0 +1,265 @@
+"""Unit tests for the location classes (Section 3.2, Fig. 6)."""
+
+import pytest
+
+from repro.core import (InputError, Parameter, Result, RunData,
+                        VariableSet)
+from repro.parse import (DerivedParameter, FilenameLocation,
+                         FixedLocation, FixedValue, NamedLocation,
+                         SourceText, TabularColumn, TabularLocation)
+
+
+def variables():
+    return VariableSet([
+        Parameter("t", datatype="integer"),
+        Parameter("fs", valid_values=("ufs", "nfs"), default="unknown"),
+        Parameter("host"),
+        Parameter("ratio", datatype="float"),
+        Parameter("size", datatype="integer", occurrence="multiple"),
+        Result("bw", datatype="float", occurrence="multiple"),
+        Parameter("volume", datatype="integer", occurrence="multiple"),
+        Result("events", datatype="integer", occurrence="multiple"),
+    ])
+
+
+def extract(location, text, filename="file.txt"):
+    run = RunData()
+    location.extract(SourceText(text, filename), run, variables())
+    return run
+
+
+class TestNamedLocation:
+    def test_after_match(self):
+        run = extract(NamedLocation("t", "T="), "header\nfoo T=10 bar")
+        assert run.once["t"] == 10
+
+    def test_before_match(self):
+        run = extract(NamedLocation("t", "seconds",
+                                    direction="before"),
+                      "42 seconds elapsed")
+        assert run.once["t"] == 42
+
+    def test_word_selection(self):
+        run = extract(NamedLocation("host", "hostname :", word=0),
+                      "      hostname : grisu0.ccrl-nece.de extra")
+        assert run.once["host"] == "grisu0.ccrl-nece.de"
+
+    def test_word_out_of_range(self):
+        with pytest.raises(InputError, match="no word"):
+            extract(NamedLocation("host", "hostname:", word=3),
+                    "hostname: only-one")
+
+    def test_regex_group(self):
+        run = extract(NamedLocation("fs", r"fs=(\w+)", regex=True),
+                      "config: fs=nfs rest")
+        assert run.once["fs"] == "nfs"
+
+    def test_first_vs_last(self):
+        text = "t=1\nt=2\nt=3"
+        assert extract(NamedLocation("t", "t="), text).once["t"] == 1
+        assert extract(NamedLocation("t", "t=", which="last"),
+                       text).once["t"] == 3
+
+    def test_which_all_appends_datasets(self):
+        run = extract(NamedLocation("events", "count=", which="all"),
+                      "count=1\nx\ncount=2")
+        assert run.datasets == [{"events": 1}, {"events": 2}]
+
+    def test_which_all_needs_multiple(self):
+        with pytest.raises(InputError, match="multiple"):
+            extract(NamedLocation("t", "t=", which="all"), "t=1\nt=2")
+
+    def test_no_match_leaves_run_untouched(self):
+        run = extract(NamedLocation("t", "T="), "nothing here")
+        assert run.once == {}
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(InputError):
+            NamedLocation("t", "x", direction="sideways")
+
+    def test_bad_which_rejected(self):
+        with pytest.raises(InputError):
+            NamedLocation("t", "x", which="second")
+
+
+class TestFixedLocation:
+    TEXT = "alpha beta\n10 20 30\nlast line here"
+
+    def test_row_and_column(self):
+        run = extract(FixedLocation("t", row=2, column=2), self.TEXT)
+        assert run.once["t"] == 20
+
+    def test_whole_line(self):
+        run = extract(FixedLocation("host", row=1), self.TEXT)
+        assert run.once["host"] == "alpha beta"
+
+    def test_negative_row(self):
+        run = extract(FixedLocation("host", row=-1, column=1),
+                      self.TEXT)
+        assert run.once["host"] == "last"
+
+    def test_out_of_range_row_ignored(self):
+        run = extract(FixedLocation("t", row=99, column=1), self.TEXT)
+        assert run.once == {}
+
+    def test_out_of_range_column_ignored(self):
+        run = extract(FixedLocation("t", row=2, column=9), self.TEXT)
+        assert run.once == {}
+
+    def test_row_zero_rejected(self):
+        with pytest.raises(InputError):
+            FixedLocation("t", row=0)
+
+
+class TestTabularLocation:
+    TEXT = """preamble
+Results:
+  32  1.5
+  64  2.5
+ 128  3.5
+
+trailer text
+"""
+
+    def columns(self):
+        return [TabularColumn("size", 1), TabularColumn("bw", 2)]
+
+    def test_basic_table(self):
+        loc = TabularLocation(self.columns(), start="Results:")
+        run = extract(loc, self.TEXT)
+        assert run.datasets == [{"size": 32, "bw": 1.5},
+                                {"size": 64, "bw": 2.5},
+                                {"size": 128, "bw": 3.5}]
+
+    def test_offset(self):
+        loc = TabularLocation(self.columns(), start="preamble",
+                              offset=2)
+        run = extract(loc, self.TEXT)
+        assert len(run.datasets) == 3
+
+    def test_stop_match(self):
+        loc = TabularLocation(self.columns(), start="Results:",
+                              stop="128")
+        run = extract(loc, self.TEXT)
+        assert len(run.datasets) == 2
+
+    def test_max_rows(self):
+        loc = TabularLocation(self.columns(), start="Results:",
+                              max_rows=1)
+        run = extract(loc, self.TEXT)
+        assert len(run.datasets) == 1
+
+    def test_mismatch_stop_ends_at_blank(self):
+        text = "Results:\n 1 1.0\nnot a row\n 2 2.0\n"
+        loc = TabularLocation(self.columns(), start="Results:")
+        run = extract(loc, text)
+        assert len(run.datasets) == 1
+
+    def test_mismatch_skip_continues(self):
+        text = "Results:\n 1 1.0\ntotal-write junk\n 2 2.0\n"
+        loc = TabularLocation(self.columns(), start="Results:",
+                              on_mismatch="skip")
+        run = extract(loc, text)
+        assert [d["size"] for d in run.datasets] == [1, 2]
+
+    def test_max_skip_bounds_garbage(self):
+        garbage = "\n".join(["junk"] * 10)
+        text = f"Results:\n 1 1.0\n{garbage}\n 2 2.0\n"
+        loc = TabularLocation(self.columns(), start="Results:",
+                              on_mismatch="skip", max_skip=3)
+        run = extract(loc, text)
+        assert [d["size"] for d in run.datasets] == [1]
+
+    def test_missing_start_yields_nothing(self):
+        loc = TabularLocation(self.columns(), start="NOPE")
+        run = extract(loc, self.TEXT)
+        assert run.datasets == []
+
+    def test_regex_start(self):
+        loc = TabularLocation(self.columns(), start=r"^Res\w+:",
+                              regex=True)
+        run = extract(loc, self.TEXT)
+        assert len(run.datasets) == 3
+
+    def test_once_column_rejected(self):
+        loc = TabularLocation([TabularColumn("t", 1)], start="Results:")
+        with pytest.raises(InputError, match="multiple"):
+            extract(loc, self.TEXT)
+
+    def test_needs_columns(self):
+        with pytest.raises(InputError):
+            TabularLocation([], start="x")
+
+    def test_field_one_based(self):
+        with pytest.raises(InputError):
+            TabularColumn("size", 0)
+
+
+class TestFilenameLocation:
+    def test_pattern(self):
+        loc = FilenameLocation("fs", pattern=r"_(ufs|nfs)_")
+        run = extract(loc, "x", filename="/a/b/bio_T10_nfs_run1.out")
+        assert run.once["fs"] == "nfs"
+
+    def test_part(self):
+        loc = FilenameLocation("t", part=1, separator="_")
+        run = extract(loc, "x", filename="bio_10_nfs.out")
+        assert run.once["t"] == 10
+
+    def test_extension_stripped_for_parts(self):
+        loc = FilenameLocation("host", part=2)
+        run = extract(loc, "x", filename="bio_10_grisu.out")
+        assert run.once["host"] == "grisu"
+
+    def test_no_match_ignored(self):
+        loc = FilenameLocation("fs", pattern=r"_(ufs|nfs)_")
+        run = extract(loc, "x", filename="plain.out")
+        assert run.once == {}
+
+    def test_part_out_of_range_ignored(self):
+        loc = FilenameLocation("fs", part=9)
+        run = extract(loc, "x", filename="a_b.out")
+        assert run.once == {}
+
+    def test_needs_exactly_one_mode(self):
+        with pytest.raises(InputError):
+            FilenameLocation("fs")
+        with pytest.raises(InputError):
+            FilenameLocation("fs", pattern="x", part=1)
+
+
+class TestFixedValue:
+    def test_sets_value(self):
+        run = extract(FixedValue("t", "30"), "ignored")
+        assert run.once["t"] == 30
+
+    def test_validates_against_whitelist(self):
+        run = extract(FixedValue("fs", "xfs"), "ignored")
+        assert run.once["fs"] == "unknown"  # falls back to default
+
+
+class TestDerivedParameter:
+    def test_once_derivation(self):
+        run = RunData(once={"t": 10})
+        DerivedParameter("ratio", "t / 4").extract(
+            SourceText(""), run, variables())
+        assert run.once["ratio"] == 2.5
+
+    def test_per_dataset_derivation(self):
+        run = RunData(once={"t": 2},
+                      datasets=[{"size": 10}, {"size": 20}])
+        DerivedParameter("volume", "size * t").extract(
+            SourceText(""), run, variables())
+        assert [d["volume"] for d in run.datasets] == [20, 40]
+
+    def test_missing_inputs_skip_quietly(self):
+        run = RunData()
+        DerivedParameter("ratio", "t / 4").extract(
+            SourceText(""), run, variables())
+        assert "ratio" not in run.once
+
+    def test_once_target_with_multi_inputs_rejected(self):
+        run = RunData(datasets=[{"size": 1}])
+        with pytest.raises(InputError, match="cannot depend"):
+            DerivedParameter("ratio", "size * 2").extract(
+                SourceText(""), run, variables())

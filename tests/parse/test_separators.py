@@ -1,0 +1,50 @@
+"""Unit tests for run separators (Fig. 1 case b)."""
+
+from repro.parse import RunSeparator, SourceText
+
+
+def chunks_of(sep, text):
+    return [c.lines for c in sep.split(SourceText(text, "f.txt"))]
+
+
+class TestRunSeparator:
+    TEXT = "preamble\n=== RUN ===\na\nb\n=== RUN ===\nc\n"
+
+    def test_split_keeps_separator_line(self):
+        chunks = chunks_of(RunSeparator("=== RUN ==="), self.TEXT)
+        assert chunks == [["=== RUN ===", "a", "b"],
+                          ["=== RUN ===", "c"]]
+
+    def test_drop_separator_line(self):
+        chunks = chunks_of(RunSeparator("=== RUN ===",
+                                        keep_line=False), self.TEXT)
+        assert chunks == [["a", "b"], ["c"]]
+
+    def test_leading_discarded_by_default(self):
+        chunks = chunks_of(RunSeparator("=== RUN ==="), self.TEXT)
+        assert all("preamble" not in c for c in chunks)
+
+    def test_leading_as_run(self):
+        chunks = chunks_of(RunSeparator("=== RUN ===", leading="run"),
+                           self.TEXT)
+        assert chunks[0] == ["preamble"]
+        assert len(chunks) == 3
+
+    def test_no_separator_yields_whole_file(self):
+        chunks = chunks_of(RunSeparator("=== RUN ==="), "a\nb\n")
+        assert chunks == [["a", "b"]]
+
+    def test_regex_separator(self):
+        text = "RUN 1\na\nRUN 2\nb\n"
+        chunks = chunks_of(RunSeparator(r"^RUN \d+", regex=True), text)
+        assert chunks == [["RUN 1", "a"], ["RUN 2", "b"]]
+
+    def test_filename_propagated(self):
+        sep = RunSeparator("X")
+        parts = sep.split(SourceText("X\na\nX\nb", "orig.txt"))
+        assert all(p.filename == "orig.txt" for p in parts)
+
+    def test_bad_leading_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            RunSeparator("x", leading="keep")

@@ -1,0 +1,43 @@
+"""Unit tests for the SourceText search primitives."""
+
+from repro.parse import SourceText
+
+
+class TestSourceText:
+    TEXT = "alpha one\nbeta two\nalpha three\n"
+
+    def test_len_and_line(self):
+        src = SourceText(self.TEXT)
+        assert len(src) == 3
+        assert src.line(1) == "beta two"
+        assert src.line(-1) == "alpha three"
+
+    def test_literal_find_all(self):
+        src = SourceText(self.TEXT)
+        hits = list(src.find("alpha"))
+        assert [h.line_index for h in hits] == [0, 2]
+
+    def test_first(self):
+        src = SourceText(self.TEXT)
+        hit = src.first("beta")
+        assert hit.line_index == 1
+        assert src.first("gamma") is None
+
+    def test_start_line(self):
+        src = SourceText(self.TEXT)
+        hit = src.first("alpha", start_line=1)
+        assert hit.line_index == 2
+
+    def test_after_before(self):
+        src = SourceText("key = value")
+        hit = src.first("=")
+        assert src.after(hit) == " value"
+        assert src.before(hit) == "key "
+
+    def test_regex_with_groups(self):
+        src = SourceText("T=10 N=4")
+        hit = src.first(r"N=(\d+)", regex=True)
+        assert hit.match.group(1) == "4"
+
+    def test_filename_default(self):
+        assert SourceText("x").filename == "<input>"

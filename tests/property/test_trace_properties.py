@@ -1,0 +1,85 @@
+"""Property-based tests for the binary trace format and the run
+separator / tabular parsing invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parse import RunSeparator, SourceText
+from repro.trace import TraceReader, TraceRecord, TraceWriter
+
+event_names = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+    min_size=1, max_size=20)
+
+records = st.builds(
+    TraceRecord,
+    timestamp=st.floats(min_value=0, max_value=1e9,
+                        allow_nan=False),
+    event=event_names,
+    process=st.integers(min_value=0, max_value=0xFFFF),
+    value=st.floats(allow_nan=False, allow_infinity=False,
+                    min_value=-1e12, max_value=1e12))
+
+meta_dicts = st.dictionaries(
+    st.text(min_size=1, max_size=15), st.text(max_size=30),
+    max_size=5)
+
+
+class TestTraceFormatProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(meta_dicts, st.lists(records, max_size=50))
+    def test_roundtrip(self, meta, recs):
+        writer = TraceWriter(meta=meta)
+        writer.extend(recs)
+        trace = TraceReader.from_bytes(writer.to_bytes())
+        assert trace.meta == meta
+        assert trace.records == recs
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(records, min_size=1, max_size=30),
+           st.integers(min_value=1, max_value=100))
+    def test_truncation_always_detected(self, recs, cut):
+        writer = TraceWriter()
+        writer.extend(recs)
+        data = writer.to_bytes()
+        cut = min(cut, len(data) - 1)
+        from repro.core import InputError
+        with pytest.raises(InputError):
+            TraceReader.from_bytes(data[:len(data) - cut])
+
+
+class TestSeparatorProperties:
+    lines = st.lists(
+        st.text(alphabet=st.characters(
+            min_codepoint=32, max_codepoint=126),
+            max_size=30).filter(lambda s: "SEP" not in s),
+        max_size=20)
+
+    @settings(max_examples=50, deadline=None)
+    @given(lines, st.integers(min_value=0, max_value=5))
+    def test_chunks_partition_the_content(self, content, n_seps):
+        """With keep_line=False and leading='run', splitting loses no
+        non-separator line and invents none."""
+        text_lines = list(content)
+        for i in range(n_seps):
+            text_lines.insert(
+                min(len(text_lines), (i * 3) % (len(text_lines) + 1)),
+                "== SEP ==")
+        text = "\n".join(text_lines)
+        sep = RunSeparator("SEP", keep_line=False, leading="run")
+        chunks = sep.split(SourceText(text, "f"))
+        reassembled = [line for chunk in chunks for line in
+                       chunk.lines]
+        expected = [l for l in text_lines if "SEP" not in l]
+        # trailing empty-line bookkeeping aside, content is preserved
+        assert [l for l in reassembled if l != ""] == \
+            [l for l in expected if l != ""]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=6))
+    def test_chunk_count_matches_separator_count(self, n):
+        body = "\n".join(
+            f"=RUN=\npayload {i}" for i in range(n))
+        sep = RunSeparator("=RUN=")
+        chunks = sep.split(SourceText(body, "f"))
+        assert len(chunks) == max(n, 1)

@@ -1,0 +1,93 @@
+"""Unit tests for the combiner element (Section 3.3.3)."""
+
+import pytest
+
+from repro.core import QueryError
+from repro.query import (Combiner, Operator, Output, ParameterSpec,
+                         Query, Source)
+
+
+def exec_elements(exp, elements, final):
+    q = Query(list(elements) + [Output("sink", [final], format="csv")],
+              name="t")
+    return q.execute(exp, keep_temp_tables=True).vectors[final]
+
+
+def branch(tag, technique):
+    return [
+        Source(f"s{tag}", parameters=[
+            ParameterSpec("technique", technique, show=False),
+            ParameterSpec("S_chunk"), ParameterSpec("access")],
+            results=["bw"]),
+        Operator(f"a{tag}", "avg", [f"s{tag}"]),
+    ]
+
+
+class TestCombiner:
+    def test_merges_results_side_by_side(self, filled_experiment):
+        v = exec_elements(
+            filled_experiment,
+            branch("o", "old") + branch("n", "new") + [
+                Combiner("c", ["ao", "an"])], "c")
+        # "All result values of the two input vectors are passed to
+        # the new output vector."
+        assert v.n_rows == 6
+        names = v.column_names
+        assert "bw" in names and "bw_an" in names
+
+    def test_duplicate_parameters_removed(self, filled_experiment):
+        # "Duplicate input parameters ... are removed by default."
+        v = exec_elements(
+            filled_experiment,
+            branch("o", "old") + branch("n", "new") + [
+                Combiner("c", ["ao", "an"])], "c")
+        assert names_count(v, "S_chunk") == 1
+        assert names_count(v, "access") == 1
+
+    def test_keep_duplicate_parameters(self, filled_experiment):
+        v = exec_elements(
+            filled_experiment,
+            branch("o", "old") + branch("n", "new") + [
+                Combiner("c", ["ao", "an"],
+                         keep_duplicate_parameters=True)], "c")
+        dupes = [n for n in v.column_names if n.startswith("S_chunk")]
+        assert len(dupes) == 2
+
+    def test_values_joined_on_parameters(self, filled_experiment):
+        v = exec_elements(
+            filled_experiment,
+            branch("o", "old") + branch("n", "new") + [
+                Combiner("c", ["ao", "an"])], "c")
+        for row in v.dicts():
+            assert row["bw_an"] - row["bw"] == pytest.approx(2.0)
+
+    def test_needs_two_inputs(self, filled_experiment):
+        with pytest.raises(QueryError, match="exactly 2"):
+            exec_elements(
+                filled_experiment,
+                branch("o", "old") + [Combiner("c", ["ao"])], "c")
+
+    def test_disjoint_parameters_join_positionally(self,
+                                                   filled_experiment):
+        # reduce both branches fully -> no parameter columns at all
+        elements = branch("o", "old") + branch("n", "new") + [
+            Operator("mo", "max", ["ao"]),
+            Operator("mn", "max", ["an"]),
+            Combiner("c", ["mo", "mn"]),
+        ]
+        v = exec_elements(filled_experiment, elements, "c")
+        assert v.n_rows == 1
+        row = v.rows()[0]
+        assert row[1] - row[0] == pytest.approx(2.0)
+
+    def test_metadata_preserved(self, filled_experiment):
+        v = exec_elements(
+            filled_experiment,
+            branch("o", "old") + branch("n", "new") + [
+                Combiner("c", ["ao", "an"])], "c")
+        assert v.column("bw").unit.symbol == "MB/s"
+        assert v.column("bw_an").unit.symbol == "MB/s"
+
+
+def names_count(vector, name):
+    return sum(1 for n in vector.column_names if n == name)

@@ -1,0 +1,98 @@
+"""Unit tests for query graph validation (Fig. 2's "certain limits")."""
+
+import pytest
+
+from repro.core import QueryError
+from repro.query import (Combiner, Operator, Output, ParameterSpec,
+                         QueryGraph, Source)
+
+
+def src(name="s"):
+    return Source(name, parameters=[ParameterSpec("x")], results=["bw"])
+
+
+class TestValidation:
+    def test_minimal_valid(self):
+        g = QueryGraph([src(), Output("o", ["s"])])
+        assert len(g) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError, match="no elements"):
+            QueryGraph([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            QueryGraph([src(), src()])
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(QueryError, match="unknown input"):
+            QueryGraph([src(), Output("o", ["ghost"])])
+
+    def test_no_source_rejected(self):
+        with pytest.raises(QueryError, match="no source"):
+            QueryGraph([Operator("a", "max", ["b"]),
+                        Operator("b", "max", []),
+                        Output("o", ["a"])])
+
+    def test_cycle_rejected(self):
+        a = Operator("a", "max", ["b"])
+        b = Operator("b", "max", ["a"])
+        with pytest.raises(QueryError, match="cycle"):
+            QueryGraph([src(), a, b, Output("o", ["a"])])
+
+    def test_output_cannot_feed_elements(self):
+        with pytest.raises(QueryError, match="cannot feed"):
+            QueryGraph([src(), Output("o1", ["s"]),
+                        Operator("m", "max", ["o1"]),
+                        Output("o2", ["m"])])
+
+    def test_non_source_without_inputs_rejected(self):
+        with pytest.raises(QueryError, match="no inputs"):
+            QueryGraph([src(), Operator("m", "max", []),
+                        Output("o", ["s"])])
+
+    def test_disconnected_output_rejected(self):
+        # an operator chain not reaching any source
+        with pytest.raises(QueryError):
+            QueryGraph([src(), Output("o", ["s"]),
+                        Operator("m", "max", ["m2"]),
+                        Operator("m2", "max", ["m"]),
+                        Output("o2", ["m"])])
+
+
+class TestStructure:
+    def make(self):
+        return QueryGraph([
+            src("s1"), src("s2"),
+            Operator("a1", "avg", ["s1"]),
+            Operator("a2", "avg", ["s2"]),
+            Operator("d", "diff", ["a1", "a2"]),
+            Output("o", ["d"]),
+        ])
+
+    def test_topological_order(self):
+        order = [e.name for e in self.make().topological_order()]
+        assert order.index("s1") < order.index("a1")
+        assert order.index("a1") < order.index("d")
+        assert order.index("d") < order.index("o")
+
+    def test_levels(self):
+        levels = self.make().levels()
+        assert levels["s1"] == 0 and levels["s2"] == 0
+        assert levels["a1"] == 1 and levels["a2"] == 1
+        assert levels["d"] == 2
+        assert levels["o"] == 3
+
+    def test_width(self):
+        # two independent branches -> effective parallelism 2
+        assert self.make().width() == 2
+
+    def test_sources_outputs(self):
+        g = self.make()
+        assert {s.name for s in g.sources} == {"s1", "s2"}
+        assert [o.name for o in g.outputs] == ["o"]
+
+    def test_consumers(self):
+        g = self.make()
+        assert g.consumers("a1") == ["d"]
+        assert g.consumers("o") == []

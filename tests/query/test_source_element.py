@@ -1,0 +1,182 @@
+"""Unit tests for the source element (Section 3.3.1)."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core import QueryError, RunData
+from repro.query import (Output, ParameterSpec, Query, RunFilter, Source)
+
+
+def run_query(exp, source):
+    q = Query([source,
+               Output("sink", [source.name], format="csv")],
+              name="t")
+    return q.execute(exp, keep_temp_tables=True).vectors[source.name]
+
+
+class TestFiltering:
+    def test_no_filter_gets_everything(self, filled_experiment):
+        v = run_query(filled_experiment, Source(
+            "s", parameters=[ParameterSpec("S_chunk")], results=["bw"]))
+        # 2 techniques * 3 reps * 6 datasets
+        assert v.n_rows == 36
+
+    def test_once_filter_restricts_runs(self, filled_experiment):
+        v = run_query(filled_experiment, Source(
+            "s", parameters=[ParameterSpec("technique", "old")],
+            results=["bw"]))
+        assert v.n_rows == 18
+
+    def test_multi_filter_restricts_datasets(self, filled_experiment):
+        v = run_query(filled_experiment, Source(
+            "s", parameters=[ParameterSpec("access", "read")],
+            results=["bw"]))
+        assert v.n_rows == 18
+        assert set(v.values("access")) == {"read"}
+
+    def test_combined_filters(self, filled_experiment):
+        v = run_query(filled_experiment, Source(
+            "s", parameters=[ParameterSpec("technique", "old"),
+                             ParameterSpec("access", "read"),
+                             ParameterSpec("S_chunk", 1024)],
+            results=["bw"]))
+        assert v.n_rows == 3  # one per repetition
+
+    def test_comparison_ops(self, filled_experiment):
+        v = run_query(filled_experiment, Source(
+            "s", parameters=[ParameterSpec("S_chunk", 1024, op=">")],
+            results=["bw"]))
+        assert set(v.values("S_chunk")) == {1048576}
+
+    def test_in_op(self, filled_experiment):
+        v = run_query(filled_experiment, Source(
+            "s", parameters=[
+                ParameterSpec("S_chunk", [32, 1024], op="in")],
+            results=["bw"]))
+        assert set(v.values("S_chunk")) == {32, 1024}
+
+    def test_unknown_op_rejected(self, filled_experiment):
+        with pytest.raises(QueryError, match="unknown filter"):
+            run_query(filled_experiment, Source(
+                "s", parameters=[
+                    ParameterSpec("S_chunk", 1, op="~")],
+                results=["bw"]))
+
+    def test_result_as_parameter_rejected(self, filled_experiment):
+        with pytest.raises(QueryError, match="is a result"):
+            run_query(filled_experiment, Source(
+                "s", parameters=[ParameterSpec("bw", 1.0)],
+                results=["bw"]))
+
+    def test_needs_results(self):
+        with pytest.raises(QueryError, match="at least one result"):
+            Source("s", parameters=[ParameterSpec("x")])
+
+
+class TestOutputTuples:
+    def test_tuple_layout(self, filled_experiment):
+        # "Each data tuple consists of the input parameters by which
+        # the database access was filtered and the result values"
+        v = run_query(filled_experiment, Source(
+            "s", parameters=[ParameterSpec("technique", "old"),
+                             ParameterSpec("S_chunk")],
+            results=["bw"]))
+        assert v.column_names == ["technique", "S_chunk", "bw"]
+        assert [c.is_result for c in v.columns] == [False, False, True]
+
+    def test_show_false_hides_filter_column(self, filled_experiment):
+        v = run_query(filled_experiment, Source(
+            "s", parameters=[
+                ParameterSpec("technique", "old", show=False),
+                ParameterSpec("S_chunk")],
+            results=["bw"]))
+        assert v.column_names == ["S_chunk", "bw"]
+
+    def test_metadata_travels(self, filled_experiment):
+        v = run_query(filled_experiment, Source(
+            "s", parameters=[ParameterSpec("S_chunk")],
+            results=["bw"]))
+        col = v.column("bw")
+        assert col.synopsis == "bandwidth"
+        assert col.unit.symbol == "MB/s"
+
+    def test_include_run_index(self, filled_experiment):
+        v = run_query(filled_experiment, Source(
+            "s", parameters=[ParameterSpec("technique", "old")],
+            results=["bw"], include_run_index=True))
+        assert "run_index" in v.column_names
+        assert set(v.values("run_index")) == {1, 2, 3}
+
+    def test_once_result_broadcast(self, simple_experiment):
+        from repro.core import Result
+        simple_experiment.add_variable(
+            Result("total", datatype="float"))
+        simple_experiment.store_run(RunData(
+            once={"technique": "old", "total": 9.0},
+            datasets=[{"S_chunk": 1, "access": "w", "bw": 1.0},
+                      {"S_chunk": 2, "access": "w", "bw": 2.0}]))
+        v = run_query(simple_experiment, Source(
+            "s", parameters=[ParameterSpec("S_chunk")],
+            results=["total", "bw"]))
+        assert v.values("total") == [9.0, 9.0]
+
+    def test_only_once_results(self, simple_experiment):
+        from repro.core import Result
+        simple_experiment.add_variable(
+            Result("total", datatype="float"))
+        for i in range(3):
+            simple_experiment.store_run(RunData(
+                once={"technique": "old", "total": float(i)}))
+        v = run_query(simple_experiment, Source(
+            "s", results=["total"]))
+        assert v.values("total") == [0.0, 1.0, 2.0]
+
+
+class TestRunFilters:
+    def test_index_list(self, filled_experiment):
+        v = run_query(filled_experiment, Source(
+            "s", results=["bw"], include_run_index=True,
+            runs=RunFilter(indices=[1, 3])))
+        assert set(v.values("run_index")) == {1, 3}
+
+    def test_index_range(self, filled_experiment):
+        v = run_query(filled_experiment, Source(
+            "s", results=["bw"], include_run_index=True,
+            runs=RunFilter(min_index=2, max_index=4)))
+        assert set(v.values("run_index")) == {2, 3, 4}
+
+    def test_since_until(self, filled_experiment):
+        v = run_query(filled_experiment, Source(
+            "s", results=["bw"],
+            runs=RunFilter(since=datetime.now() + timedelta(days=1))))
+        assert v.n_rows == 0
+        v = run_query(filled_experiment, Source(
+            "s", results=["bw"],
+            runs=RunFilter(until=datetime.now() + timedelta(days=1))))
+        assert v.n_rows == 36
+
+    def test_deleted_runs_excluded(self, filled_experiment):
+        filled_experiment.delete_run(1)
+        v = run_query(filled_experiment, Source(
+            "s", results=["bw"], include_run_index=True))
+        assert 1 not in set(v.values("run_index"))
+
+
+class TestEvolutionTolerance:
+    def test_runs_predating_variable_are_skipped(self,
+                                                 simple_experiment):
+        simple_experiment.store_run(RunData(
+            once={"technique": "old"},
+            datasets=[{"S_chunk": 1, "access": "w", "bw": 1.0}]))
+        from repro.core import Result
+        simple_experiment.add_variable(Result(
+            "iops", datatype="float", occurrence="multiple"))
+        simple_experiment.store_run(RunData(
+            once={"technique": "new"},
+            datasets=[{"S_chunk": 1, "access": "w", "bw": 2.0,
+                       "iops": 5.0}]))
+        v = run_query(simple_experiment, Source(
+            "s", results=["iops"]))
+        # only the post-evolution run can provide iops
+        assert v.values("iops") == [5.0]

@@ -1,0 +1,63 @@
+"""Unit tests for the experiment status report."""
+
+import pytest
+
+from repro.status import experiment_report
+
+
+class TestExperimentReport:
+    def test_sections_present(self, beffio_experiment):
+        report = experiment_report(beffio_experiment)
+        assert "experiment report: b_eff_io" in report
+        assert "variables" in report
+        assert "parameter coverage" in report
+        assert "runs        : 6" in report
+
+    def test_meta_information(self, beffio_experiment):
+        report = experiment_report(beffio_experiment)
+        assert "Joachim Worringen" in report
+        assert "Results of b_eff_io Benchmark" in report
+
+    def test_variable_table(self, beffio_experiment):
+        report = experiment_report(beffio_experiment)
+        assert "B_scatter" in report
+        assert "[Mbyte/s]" in report
+
+    def test_categorical_coverage_with_counts(self,
+                                              beffio_experiment):
+        report = experiment_report(beffio_experiment)
+        assert "listbased x3" in report
+        assert "listless x3" in report
+
+    def test_numeric_range_summary(self, beffio_experiment):
+        report = experiment_report(beffio_experiment, max_values=4)
+        # with a small limit, S_chunk's 8 distinct values collapse
+        # into a numeric range
+        assert "32 .. 2.09715e+06" in report
+
+    def test_dataset_totals(self, beffio_experiment):
+        report = experiment_report(beffio_experiment)
+        assert "data sets   : 144" in report  # 6 runs x 24
+
+    def test_empty_experiment(self, simple_experiment):
+        report = experiment_report(simple_experiment)
+        assert "runs        : 0" in report
+        assert "parameter coverage" not in report
+
+    def test_cli_command(self, beffio_experiment, capsys, tmp_path):
+        # report through the CLI against a file-backed server
+        from repro import Experiment, SQLiteServer
+        from repro.cli import main
+        from repro.db.schema import ExperimentStore
+        server = SQLiteServer(tmp_path)
+        # clone into a file-backed db by dump/restore-style copy
+        exp2 = Experiment.create(
+            server, "b_eff_io", list(beffio_experiment.variables),
+            beffio_experiment.info)
+        for index in beffio_experiment.run_indices():
+            exp2.store_run(beffio_experiment.load_run(index))
+        exp2.close()
+        assert main(["report", "-e", "b_eff_io",
+                     "--dbdir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "experiment report: b_eff_io" in out

@@ -1,0 +1,117 @@
+"""Unit tests for status retrieval (Section 3.4)."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core import DefinitionError, RunData
+from repro.status import (list_runs, missing_sweep_points, show_run,
+                          show_variable, sweep_coverage)
+
+
+class TestListRuns:
+    def test_all(self, filled_experiment):
+        assert len(list_runs(filled_experiment)) == 6
+
+    def test_where_filter(self, filled_experiment):
+        records = list_runs(filled_experiment,
+                            where={"technique": "old"})
+        assert len(records) == 3
+        assert all(r.once["technique"] == "old" for r in records)
+
+    def test_time_filters(self, filled_experiment):
+        future = datetime.now() + timedelta(days=1)
+        assert list_runs(filled_experiment, since=future) == []
+        assert len(list_runs(filled_experiment, until=future)) == 6
+
+    def test_predicate(self, filled_experiment):
+        records = list_runs(filled_experiment,
+                            predicate=lambda r: r.index % 2 == 0)
+        assert [r.index for r in records] == [2, 4, 6]
+
+    def test_deleted_excluded(self, filled_experiment):
+        filled_experiment.delete_run(1)
+        assert len(list_runs(filled_experiment)) == 5
+
+
+class TestShowRun:
+    def test_renders_once_and_datasets(self, filled_experiment):
+        out = show_run(filled_experiment, 1)
+        assert "run 1" in out
+        assert "technique = old" in out
+        assert "S_chunk" in out
+
+    def test_truncates_datasets(self, filled_experiment):
+        out = show_run(filled_experiment, 1, max_datasets=2)
+        assert "more" in out
+
+    def test_missing_content_marked(self, simple_experiment):
+        simple_experiment.store_run(RunData(once={"technique": "x"}))
+        out = show_run(simple_experiment, 1)
+        assert "(no content)" not in out.split("technique")[0]
+        # fs has a default so it is set; nothing else missing once-wise
+
+
+class TestShowVariable:
+    def test_once_variable(self, filled_experiment):
+        values = show_variable(filled_experiment, "technique")
+        assert values.count("old") == 3 and values.count("new") == 3
+
+    def test_multiple_variable(self, filled_experiment):
+        values = show_variable(filled_experiment, "S_chunk")
+        assert len(values) == 36
+
+    def test_distinct(self, filled_experiment):
+        values = show_variable(filled_experiment, "S_chunk",
+                               distinct=True)
+        assert values == [32, 1024, 1048576]
+
+    def test_unknown_variable_rejected(self, filled_experiment):
+        with pytest.raises(DefinitionError):
+            show_variable(filled_experiment, "ghost")
+
+
+class TestSweepAnalysis:
+    def test_complete_sweep(self, filled_experiment):
+        holes = missing_sweep_points(
+            filled_experiment,
+            {"technique": ["old", "new"], "fs": ["ufs"]},
+            repetitions=3)
+        assert holes == []
+
+    def test_missing_combination_reported(self, filled_experiment):
+        holes = missing_sweep_points(
+            filled_experiment,
+            {"technique": ["old", "new"], "fs": ["ufs", "nfs"]})
+        missing = {tuple(sorted(h.as_dict().items())) for h in holes}
+        assert (("fs", "nfs"), ("technique", "new")) in missing
+        assert (("fs", "nfs"), ("technique", "old")) in missing
+        assert len(holes) == 2
+
+    def test_repetition_threshold(self, filled_experiment):
+        holes = missing_sweep_points(
+            filled_experiment,
+            {"technique": ["old"], "fs": ["ufs"]}, repetitions=5)
+        assert len(holes) == 1
+        assert holes[0].runs_found == 3
+        assert holes[0].runs_wanted == 5
+        assert "3/5" in str(holes[0])
+
+    def test_coverage_counts(self, filled_experiment):
+        coverage = sweep_coverage(
+            filled_experiment, {"technique": ["old", "new"]})
+        assert set(coverage.values()) == {3}
+
+    def test_grid_values_coerced(self, filled_experiment):
+        # chunk values given as strings still match integer content
+        coverage = sweep_coverage(
+            filled_experiment, {"technique": ["old"]})
+        assert sum(coverage.values()) == 3
+
+    def test_multi_occurrence_rejected(self, filled_experiment):
+        with pytest.raises(DefinitionError, match="once"):
+            sweep_coverage(filled_experiment, {"S_chunk": [32]})
+
+    def test_unknown_parameter_rejected(self, filled_experiment):
+        with pytest.raises(DefinitionError):
+            sweep_coverage(filled_experiment, {"ghost": [1]})

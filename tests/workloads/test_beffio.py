@@ -1,0 +1,174 @@
+"""Unit tests for the b_eff_io simulator (Fig. 4 format, planted
+Fig. 8 bug)."""
+
+import pytest
+
+from repro.workloads import (ACCESS_TYPES, AccessType, BeffIOConfig,
+                             BeffIOSimulator, CHUNK_SIZES, PATTERNS,
+                             generate_campaign)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = BeffIOConfig()
+        assert cfg.n_procs == 4
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(ValueError):
+            BeffIOConfig(technique="magic")
+
+    def test_unknown_filesystem_rejected(self):
+        with pytest.raises(ValueError):
+            BeffIOConfig(filesystem="zfs")
+
+    def test_prefix_encodes_metadata(self):
+        # Section 5: "Such information can be encoded in the filename"
+        cfg = BeffIOConfig(n_procs=8, technique="listbased",
+                           filesystem="nfs", run_number=3)
+        assert "_N8_" in cfg.prefix
+        assert "_listbased_" in cfg.prefix
+        assert "_nfs_" in cfg.prefix
+        assert cfg.prefix.endswith("_run3")
+        assert cfg.filename.endswith(".sum")
+
+
+class TestPerformanceModel:
+    def test_deterministic_per_seed(self):
+        a = BeffIOSimulator(BeffIOConfig(seed=1)).generate()
+        b = BeffIOSimulator(BeffIOConfig(seed=1)).generate()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = BeffIOSimulator(BeffIOConfig(seed=1)).generate()
+        b = BeffIOSimulator(BeffIOConfig(seed=2)).generate()
+        assert a != b
+
+    def test_bandwidth_positive(self):
+        sim = BeffIOSimulator(BeffIOConfig())
+        for pattern in PATTERNS:
+            for t in range(len(ACCESS_TYPES)):
+                for chunk in CHUNK_SIZES:
+                    assert sim.bandwidth(pattern, t, chunk) > 0
+
+    def test_reads_faster_than_writes_at_large_chunks(self):
+        sim = BeffIOSimulator(BeffIOConfig(technique="listbased"))
+        read = sim.bandwidth("read", AccessType.SEPARATE, 2097152)
+        write = sim.bandwidth("write", AccessType.SEPARATE, 2097152)
+        assert read > 2 * write
+
+    def test_small_chunks_slower(self):
+        sim = BeffIOSimulator(BeffIOConfig())
+        small = sim.bandwidth("write", AccessType.SEPARATE, 32)
+        large = sim.bandwidth("write", AccessType.SEPARATE, 1048576)
+        assert large > 10 * small
+
+    def test_planted_bug_listless_large_reads(self):
+        # the paper's finding: "about 60% slower ... for large read
+        # accesses" with the list-less technique
+        old = BeffIOSimulator(BeffIOConfig(technique="listbased"))
+        new = BeffIOSimulator(BeffIOConfig(technique="listless"))
+        ratios = []
+        for chunk in (1048576, 1048584, 2097152):
+            o = old.bandwidth("read", AccessType.SCATTER, chunk)
+            n = new.bandwidth("read", AccessType.SCATTER, chunk)
+            ratios.append(n / o)
+        mean_ratio = sum(ratios) / len(ratios)
+        assert 0.3 < mean_ratio < 0.5  # ~60 % slower
+
+    def test_listless_wins_small_noncontig(self):
+        old = BeffIOSimulator(BeffIOConfig(technique="listbased",
+                                           seed=7))
+        new = BeffIOSimulator(BeffIOConfig(technique="listless",
+                                           seed=7))
+        wins = 0
+        for chunk in (32, 1024, 1032, 32768, 32776):
+            o = old.bandwidth("write", AccessType.SCATTER, chunk)
+            n = new.bandwidth("write", AccessType.SCATTER, chunk)
+            wins += n > o
+        assert wins >= 3
+
+    def test_bug_fixable(self):
+        # with_bug=False models the state after the paper's fix
+        old = BeffIOSimulator(BeffIOConfig(technique="listbased",
+                                           with_bug=False))
+        new = BeffIOSimulator(BeffIOConfig(technique="listless",
+                                           with_bug=False))
+        o = old.bandwidth("read", AccessType.SCATTER, 2097152)
+        n = new.bandwidth("read", AccessType.SCATTER, 2097152)
+        assert n > 0.9 * o
+
+    def test_contiguous_types_unaffected_by_technique(self):
+        old = BeffIOSimulator(BeffIOConfig(technique="listbased",
+                                           seed=3))
+        new = BeffIOSimulator(BeffIOConfig(technique="listless",
+                                           seed=3))
+        o = old.bandwidth("read", AccessType.SEPARATE, 2097152)
+        n = new.bandwidth("read", AccessType.SEPARATE, 2097152)
+        assert n / o == pytest.approx(1.0, rel=0.3)  # only noise
+
+    def test_nfs_slower_and_noisier_than_pvfs(self):
+        nfs = BeffIOSimulator(BeffIOConfig(filesystem="nfs"))
+        pvfs = BeffIOSimulator(BeffIOConfig(filesystem="pvfs"))
+        assert pvfs.bandwidth("write", AccessType.SEPARATE, 1048576) \
+            > nfs.bandwidth("write", AccessType.SEPARATE, 1048576)
+
+
+class TestOutputFormat:
+    def lines(self):
+        return BeffIOSimulator(BeffIOConfig()).generate().splitlines()
+
+    def test_header_lines(self):
+        lines = self.lines()
+        assert lines[0].startswith("MEMORY PER PROCESSOR = 256 MBytes")
+        assert "1MBytes = 1024*1024 bytes" in lines[0]
+        assert any(l.startswith("PATH=") for l in lines)
+        assert any("Date of measurement:" in l for l in lines)
+        assert any("hostname :" in l for l in lines)
+
+    def test_table_has_all_rows(self):
+        text = "\n".join(self.lines())
+        for pattern in PATTERNS:
+            for chunk in CHUNK_SIZES:
+                assert f"{chunk:8d} {pattern:>7s}" in text
+            assert f"total-{pattern}" in text
+
+    def test_summary_lines(self):
+        text = "\n".join(self.lines())
+        assert "weighted average bandwidth for write" in text
+        assert "weighted average bandwidth for rewrite:" in text
+        assert "b_eff_io of these measurements =" in text
+        assert "Maximum over all number of PEs" in text
+
+    def test_weighted_average_consistent(self):
+        sim = BeffIOSimulator(BeffIOConfig())
+        rows = sim.table()
+        avg = sim.weighted_average(rows, "write")
+        assert avg > 0
+        assert sim.b_eff_io(rows) == pytest.approx(
+            sum(sim.weighted_average(rows, p) for p in PATTERNS) / 3)
+
+
+class TestCampaign:
+    def test_size(self):
+        outputs = generate_campaign(repetitions=2,
+                                    filesystems=("ufs", "nfs"),
+                                    proc_counts=(2, 4))
+        # 2 techniques x 2 fs x 2 proc counts x 2 reps
+        assert len(outputs) == 16
+
+    def test_unique_filenames(self):
+        outputs = generate_campaign(repetitions=3)
+        names = [n for n, _ in outputs]
+        assert len(set(names)) == len(names)
+
+    def test_unique_content(self):
+        outputs = generate_campaign(repetitions=3)
+        contents = [c for _, c in outputs]
+        assert len(set(contents)) == len(contents)
+
+    def test_dates_increase(self):
+        outputs = generate_campaign(repetitions=2)
+        dates = [[l for l in c.splitlines()
+                  if "Date of measurement" in l][0]
+                 for _, c in outputs]
+        assert len(set(dates)) == len(dates)

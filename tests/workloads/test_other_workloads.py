@@ -1,0 +1,135 @@
+"""Unit tests for the secondary workload generators."""
+
+import math
+
+import pytest
+
+from repro.workloads import (DEFAULT_CASES, MESSAGE_SIZES,
+                             MonteCarloPricer, OptionConfig,
+                             PingPongConfig, PingPongSimulator,
+                             TestSuiteConfig, TestSuiteSimulator,
+                             black_scholes_price)
+
+
+class TestPingPong:
+    def test_deterministic(self):
+        a = PingPongSimulator(PingPongConfig(seed=1)).generate()
+        b = PingPongSimulator(PingPongConfig(seed=1)).generate()
+        assert a == b
+
+    def test_latency_model_monotone_in_size(self):
+        sim = PingPongSimulator(PingPongConfig())
+        assert sim.latency_us(2 ** 22) > sim.latency_us(1024) > 0
+
+    def test_rendezvous_kink(self):
+        cfg = PingPongConfig(eager_limit=1024)
+        sim = PingPongSimulator(cfg)
+        # average over noise: above the limit an extra round trip
+        below = sum(sim.latency_us(1024) for _ in range(50)) / 50
+        above = sum(sim.latency_us(1025) for _ in range(50)) / 50
+        assert above > below * 1.5
+
+    def test_interconnect_ranking(self):
+        shm = PingPongSimulator(PingPongConfig(interconnect="shmem"))
+        gig = PingPongSimulator(PingPongConfig(interconnect="gige"))
+        assert shm.latency_us(0) < gig.latency_us(0)
+
+    def test_output_has_all_sizes(self):
+        out = PingPongSimulator(PingPongConfig()).generate()
+        data_lines = [l for l in out.splitlines()
+                      if l and not l.startswith("#")]
+        assert len(data_lines) == len(MESSAGE_SIZES)
+
+    def test_bandwidth_zero_for_empty_message(self):
+        sim = PingPongSimulator(PingPongConfig())
+        assert sim.bandwidth_mbs(0, 5.0) == 0.0
+
+    def test_unknown_interconnect_rejected(self):
+        with pytest.raises(ValueError):
+            PingPongConfig(interconnect="wormhole")
+
+    def test_filename(self):
+        cfg = PingPongConfig()
+        sim = PingPongSimulator(cfg)
+        assert sim.filename.startswith("pingpong_")
+
+
+class TestOptionPricing:
+    def test_black_scholes_known_value(self):
+        # canonical test case: S=100, K=100, r=5%, sigma=20%, T=1
+        cfg = OptionConfig(spot=100, strike=100, rate=0.05,
+                           volatility=0.2, maturity=1.0)
+        assert black_scholes_price(cfg) == pytest.approx(10.4506,
+                                                         abs=1e-3)
+
+    def test_put_call_parity(self):
+        call = OptionConfig(option_type="call")
+        put = OptionConfig(option_type="put")
+        lhs = black_scholes_price(call) - black_scholes_price(put)
+        rhs = call.spot - call.strike * math.exp(
+            -call.rate * call.maturity)
+        assert lhs == pytest.approx(rhs, abs=1e-9)
+
+    def test_mc_converges_to_analytic(self):
+        cfg = OptionConfig(n_paths=200_000, seed=3)
+        price, stderr = MonteCarloPricer(cfg).price()
+        reference = black_scholes_price(cfg)
+        assert abs(price - reference) < 4 * stderr
+
+    def test_antithetic_reduces_stderr(self):
+        plain = MonteCarloPricer(
+            OptionConfig(n_paths=100_000, method="montecarlo"))
+        anti = MonteCarloPricer(
+            OptionConfig(n_paths=100_000, method="antithetic"))
+        assert anti.price()[1] < plain.price()[1]
+
+    def test_deterministic(self):
+        a = MonteCarloPricer(OptionConfig(seed=1)).price()
+        b = MonteCarloPricer(OptionConfig(seed=1)).price()
+        assert a == b
+
+    def test_output_file_fields(self):
+        out = MonteCarloPricer(OptionConfig(n_paths=1000)).generate()
+        for field in ("price", "standard error", "analytic (BS)",
+                      "sigma", "paths"):
+            assert field in out
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            OptionConfig(volatility=-0.1)
+        with pytest.raises(ValueError):
+            OptionConfig(option_type="straddle")
+        with pytest.raises(ValueError):
+            OptionConfig(method="quantum")
+
+
+class TestTestSuite:
+    def test_deterministic(self):
+        a = TestSuiteSimulator(TestSuiteConfig(seed=1)).generate()
+        b = TestSuiteSimulator(TestSuiteConfig(seed=1)).generate()
+        assert a == b
+
+    def test_broken_marker_fails_all_matching(self):
+        sim = TestSuiteSimulator(TestSuiteConfig(broken=("io",),
+                                                 flakiness=0.0))
+        outcomes = dict((c, s) for c, s, _ in sim.outcomes())
+        io_cases = [c for c in DEFAULT_CASES if "io" in c]
+        assert all(outcomes[c] == "FAIL" for c in io_cases)
+
+    def test_clean_revision_mostly_passes(self):
+        sim = TestSuiteSimulator(TestSuiteConfig(flakiness=0.0,
+                                                 seed=5))
+        statuses = [s for _, s, _ in sim.outcomes()]
+        assert statuses.count("FAIL") == 0
+
+    def test_summary_error_count_consistent(self):
+        sim = TestSuiteSimulator(TestSuiteConfig(broken=("rma",),
+                                                 seed=2))
+        out = sim.generate()
+        n_fail = sum(1 for l in out.splitlines()
+                     if l.startswith("FAIL"))
+        assert f"errors = {n_fail}" in out
+
+    def test_filename(self):
+        sim = TestSuiteSimulator(TestSuiteConfig(revision="r7"))
+        assert "r7" in sim.filename

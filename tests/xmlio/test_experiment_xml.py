@@ -1,0 +1,109 @@
+"""Unit tests for experiment-definition XML parsing/writing (Fig. 5)."""
+
+import pytest
+
+from repro.core import DataType, Occurrence, XMLFormatError
+from repro.workloads.beffio_assets import experiment_xml
+from repro.xmlio import experiment_to_xml, parse_experiment_xml
+
+MINIMAL = """
+<experiment>
+  <name>mini</name>
+  <parameter occurrence="once">
+    <name>t</name><datatype>integer</datatype>
+  </parameter>
+  <result>
+    <name>bw</name><datatype>float</datatype>
+  </result>
+</experiment>
+"""
+
+
+class TestParsing:
+    def test_minimal(self):
+        d = parse_experiment_xml(MINIMAL)
+        assert d.name == "mini"
+        assert d.variables["t"].datatype is DataType.INTEGER
+        assert d.variables["bw"].is_result
+
+    def test_default_occurrence_is_multiple(self):
+        # Fig. 5: variables without the attribute are data-set columns
+        d = parse_experiment_xml(MINIMAL)
+        assert d.variables["bw"].occurrence is Occurrence.MULTIPLE
+        assert d.variables["t"].occurrence is Occurrence.ONCE
+
+    def test_paper_spelling_occurence(self):
+        xml = MINIMAL.replace('occurrence="once"', 'occurence="once"')
+        d = parse_experiment_xml(xml)
+        assert d.variables["t"].occurrence is Occurrence.ONCE
+
+    def test_info_block(self):
+        d = parse_experiment_xml(experiment_xml())
+        assert d.info.performed_by.name == "Joachim Worringen"
+        assert "NEC Europe" in d.info.performed_by.organization
+        assert d.info.project == "Optimization of MPI I/O Operations"
+
+    def test_valid_values_and_default(self):
+        d = parse_experiment_xml(experiment_xml())
+        fs = d.variables["fs"]
+        assert "ufs" in fs.valid_values
+        assert fs.default == "unknown"
+
+    def test_simple_unit(self):
+        d = parse_experiment_xml(experiment_xml())
+        assert d.variables["T"].unit.symbol == "s"
+
+    def test_fraction_unit(self):
+        d = parse_experiment_xml(experiment_xml())
+        bw = d.variables["B_scatter"]
+        assert bw.unit.dimension == {"information": 1, "time": -1}
+        assert bw.unit.factor == 1e6  # Mega byte / s
+
+    def test_scaled_simple_unit(self):
+        d = parse_experiment_xml(experiment_xml())
+        mem = d.variables["mem_per_proc"]
+        assert mem.unit.factor == 2.0 ** 20  # Mebi byte
+
+    def test_access_grants(self):
+        xml = MINIMAL.replace(
+            "<name>mini</name>",
+            "<name>mini</name><info><access user='a' class='input'/>"
+            "</info>")
+        d = parse_experiment_xml(xml)
+        assert d.grants == [("a", "input")]
+
+    def test_no_variables_rejected(self):
+        with pytest.raises(XMLFormatError, match="no parameters"):
+            parse_experiment_xml(
+                "<experiment><name>x</name></experiment>")
+
+    def test_missing_datatype_rejected(self):
+        with pytest.raises(XMLFormatError):
+            parse_experiment_xml("""
+                <experiment><name>x</name>
+                <parameter><name>t</name></parameter>
+                </experiment>""")
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(XMLFormatError, match="unexpected child"):
+            parse_experiment_xml(
+                "<experiment><name>x</name><bogus/></experiment>")
+
+
+class TestRoundTrip:
+    def test_full_definition_roundtrips(self):
+        d = parse_experiment_xml(experiment_xml())
+        rendered = experiment_to_xml(d.name, d.info, d.variables)
+        d2 = parse_experiment_xml(rendered)
+        assert d2.name == d.name
+        assert d2.variables == d.variables
+        assert d2.info.performed_by.name == d.info.performed_by.name
+
+    def test_special_characters_escaped(self):
+        from repro.core import ExperimentInfo, Parameter, Person
+        info = ExperimentInfo(performed_by=Person("A & B <'>"))
+        xml = experiment_to_xml("x", info,
+                                [Parameter("t", synopsis="5 < 6")])
+        d = parse_experiment_xml(xml)
+        assert d.info.performed_by.name == "A & B <'>"
+        assert d.variables["t"].synopsis == "5 < 6"

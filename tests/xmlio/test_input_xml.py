@@ -1,0 +1,100 @@
+"""Unit tests for input-description XML parsing (Fig. 6)."""
+
+import pytest
+
+from repro.core import XMLFormatError
+from repro.parse import (DerivedParameter, FilenameLocation,
+                         FixedLocation, FixedValue, NamedLocation,
+                         RunSeparator, TabularLocation)
+from repro.xmlio import parse_input_xml
+
+FULL = """
+<input name="demo">
+  <named_location parameter="t" match="T=" word="0" which="last"/>
+  <named_location parameter="host" match="host: (\\w+)" regex="yes"/>
+  <fixed_location parameter="header" row="1" column="2"/>
+  <tabular_location start="DATA" offset="2" on_mismatch="skip"
+                    max_skip="3" stop="END">
+    <column variable="size" field="1"/>
+    <column variable="bw" field="2"/>
+  </tabular_location>
+  <filename_location parameter="fs" pattern="_(ufs|nfs)_"/>
+  <filename_location parameter="run" part="3" separator="-"/>
+  <fixed_value parameter="site" value="lab"/>
+  <derived_parameter parameter="volume" expression="size * 2"/>
+  <run_separator match="^=== " regex="yes" keep_line="no"
+                 leading="run"/>
+</input>
+"""
+
+
+class TestParsing:
+    def test_all_location_kinds(self):
+        desc = parse_input_xml(FULL)
+        kinds = [type(l) for l in desc.locations]
+        assert kinds == [NamedLocation, NamedLocation, FixedLocation,
+                         TabularLocation, FilenameLocation,
+                         FilenameLocation, FixedValue,
+                         DerivedParameter]
+        assert isinstance(desc.separator, RunSeparator)
+        assert desc.name == "demo"
+
+    def test_named_options(self):
+        desc = parse_input_xml(FULL)
+        named = desc.locations[0]
+        assert named.word == 0 and named.which == "last"
+        regex_named = desc.locations[1]
+        assert regex_named.regex
+
+    def test_tabular_options(self):
+        tab = parse_input_xml(FULL).locations[3]
+        assert tab.offset == 2
+        assert tab.on_mismatch == "skip"
+        assert tab.max_skip == 3
+        assert tab.stop == "END"
+        assert [c.variable for c in tab.columns] == ["size", "bw"]
+        assert [c.field for c in tab.columns] == [1, 2]
+
+    def test_separator_options(self):
+        sep = parse_input_xml(FULL).separator
+        assert sep.regex and not sep.keep_line and sep.leading == "run"
+
+    def test_filename_modes(self):
+        desc = parse_input_xml(FULL)
+        assert desc.locations[4].pattern is not None
+        assert desc.locations[5].part == 3
+        assert desc.locations[5].separator == "-"
+
+    def test_provides(self):
+        desc = parse_input_xml(FULL)
+        assert desc.provides == {"t", "host", "header", "size", "bw",
+                                 "fs", "run", "site", "volume"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(XMLFormatError, match="no locations"):
+            parse_input_xml("<input/>")
+
+    def test_missing_required_attr_rejected(self):
+        with pytest.raises(XMLFormatError, match="missing required"):
+            parse_input_xml(
+                '<input><named_location match="x"/></input>')
+
+    def test_bad_int_attr_rejected(self):
+        with pytest.raises(XMLFormatError, match="integer"):
+            parse_input_xml(
+                '<input><fixed_location parameter="x" row="two"/>'
+                "</input>")
+
+    def test_tabular_needs_columns(self):
+        with pytest.raises(XMLFormatError, match="at least 1"):
+            parse_input_xml(
+                '<input><tabular_location start="x"/></input>')
+
+    def test_two_separators_rejected(self):
+        with pytest.raises(XMLFormatError, match="at most 1"):
+            parse_input_xml("""
+                <input>
+                  <fixed_value parameter="a" value="1"/>
+                  <run_separator match="x"/>
+                  <run_separator match="y"/>
+                </input>""")

@@ -1,0 +1,121 @@
+"""Unit tests for query-specification XML parsing (Fig. 7)."""
+
+import pytest
+
+from repro.core import XMLFormatError
+from repro.query import Combiner, Operator, Output, Source
+from repro.xmlio import parse_query_xml
+
+FULL = """
+<query name="demo">
+  <source id="s1" include_run_index="yes">
+    <parameter name="technique" value="old" show="no"/>
+    <parameter name="S_chunk" value="1024" op="&gt;="/>
+    <parameter name="access"/>
+    <run min_index="2" max_index="9" since="2004-01-01 00:00:00"/>
+    <result name="bw"/>
+  </source>
+  <source id="s2">
+    <parameter name="technique" value="new" show="no"/>
+    <parameter name="access"/>
+    <result name="bw"/>
+  </source>
+  <operator id="a1" type="avg" input="s1"/>
+  <operator id="a2" type="avg">
+    <input>s2</input>
+  </operator>
+  <operator id="sc" type="scale" input="a1" factor="2.5"/>
+  <operator id="ev" type="eval" input="a1"
+            expression="bw * 2" result="double"/>
+  <combiner id="c" input="a1 a2"/>
+  <operator id="rel" type="above" input="a2 a1"/>
+  <output id="o" input="rel" format="gnuplot">
+    <option name="style">bars</option>
+    <option name="width">40</option>
+  </output>
+</query>
+"""
+
+
+class TestParsing:
+    def test_element_kinds(self):
+        q = parse_query_xml(FULL)
+        assert isinstance(q.elements["s1"], Source)
+        assert isinstance(q.elements["a1"], Operator)
+        assert isinstance(q.elements["c"], Combiner)
+        assert isinstance(q.elements["o"], Output)
+        assert q.name == "demo"
+
+    def test_source_parameters(self):
+        s1 = parse_query_xml(FULL).elements["s1"]
+        tech, chunk, access = s1.parameters
+        assert tech.value == "old" and tech.show is False
+        assert chunk.op == ">=" and chunk.value == 1024
+        assert access.value is None
+        assert s1.include_run_index
+
+    def test_run_filter(self):
+        s1 = parse_query_xml(FULL).elements["s1"]
+        assert s1.runs.min_index == 2
+        assert s1.runs.max_index == 9
+        assert s1.runs.since.year == 2004
+
+    def test_value_type_guessing(self):
+        s1 = parse_query_xml(FULL).elements["s1"]
+        assert isinstance(s1.parameters[1].value, int)
+        assert isinstance(s1.parameters[0].value, str)
+
+    def test_inputs_attribute_and_children(self):
+        q = parse_query_xml(FULL)
+        assert q.elements["a1"].inputs == ["s1"]
+        assert q.elements["a2"].inputs == ["s2"]
+        assert q.elements["c"].inputs == ["a1", "a2"]
+
+    def test_operator_options(self):
+        q = parse_query_xml(FULL)
+        assert q.elements["sc"].factor == 2.5
+        assert q.elements["ev"].expression.source == "bw * 2"
+        assert q.elements["ev"].result_name == "double"
+
+    def test_output_options(self):
+        o = parse_query_xml(FULL).elements["o"]
+        assert o.format_name == "gnuplot"
+        assert o.options["style"] == "bars"
+        assert o.options["width"] == 40  # smart value typing
+
+    def test_duplicate_id_rejected(self):
+        xml = """
+        <query>
+          <source id="s"><result name="bw"/></source>
+          <operator id="s" type="avg" input="s"/>
+        </query>"""
+        with pytest.raises(XMLFormatError, match="duplicate"):
+            parse_query_xml(xml)
+
+    def test_needs_source(self):
+        with pytest.raises(XMLFormatError, match="at least 1"):
+            parse_query_xml("<query/>")
+
+    def test_graph_validation_applies(self):
+        from repro.core import QueryError
+        xml = """
+        <query>
+          <source id="s"><result name="bw"/></source>
+          <operator id="a" type="avg" input="ghost"/>
+        </query>"""
+        with pytest.raises(QueryError, match="unknown input"):
+            parse_query_xml(xml)
+
+    def test_executable_against_experiment(self, filled_experiment):
+        xml = """
+        <query name="exec">
+          <source id="s">
+            <parameter name="S_chunk"/>
+            <parameter name="access"/>
+            <result name="bw"/>
+          </source>
+          <operator id="m" type="avg" input="s"/>
+          <output id="t" input="m" format="ascii"/>
+        </query>"""
+        result = parse_query_xml(xml).execute(filled_experiment)
+        assert "(6 rows)" in result.artifact("t.txt").content

@@ -1,0 +1,85 @@
+"""Unit tests for the DTD-equivalent schema engine (Section 3.1)."""
+
+import pytest
+
+from repro.core import XMLFormatError
+from repro.xmlio import Cardinality, ElementSpec, parse_document
+from repro.xmlio.schema import bool_attr, validate
+import xml.etree.ElementTree as ET
+
+
+def spec():
+    leaf = ElementSpec("name", text=True)
+    return (ElementSpec("root").attr("id", True).attr("flag")
+            .child("name", leaf, Cardinality(1, 1))
+            .child("item", ElementSpec("item").attr("n", True),
+                   Cardinality(0, 2)))
+
+
+def check(xml):
+    return parse_document(xml, spec())
+
+
+class TestValidation:
+    def test_valid_document(self):
+        root = check('<root id="1"><name>x</name><item n="1"/></root>')
+        assert root.get("id") == "1"
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(XMLFormatError, match="well-formed"):
+            check("<root><broken")
+
+    def test_missing_required_attribute(self):
+        with pytest.raises(XMLFormatError, match="missing required"):
+            check("<root><name>x</name></root>")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(XMLFormatError, match="unknown attribute"):
+            check('<root id="1" bogus="y"><name>x</name></root>')
+
+    def test_unknown_child(self):
+        with pytest.raises(XMLFormatError, match="unexpected child"):
+            check('<root id="1"><name>x</name><wat/></root>')
+
+    def test_cardinality_min(self):
+        with pytest.raises(XMLFormatError, match="at least 1"):
+            check('<root id="1"/>')
+
+    def test_cardinality_max(self):
+        with pytest.raises(XMLFormatError, match="at most 2"):
+            check('<root id="1"><name>x</name>'
+                  '<item n="1"/><item n="2"/><item n="3"/></root>')
+
+    def test_wrong_root_tag(self):
+        with pytest.raises(XMLFormatError, match="expected"):
+            parse_document("<other/>", spec())
+
+    def test_text_in_non_text_element(self):
+        with pytest.raises(XMLFormatError, match="text"):
+            validate(ET.fromstring('<item n="1">words</item>'),
+                     ElementSpec("item").attr("n", True))
+
+    def test_file_path_source(self, tmp_path):
+        p = tmp_path / "doc.xml"
+        p.write_text('<root id="1"><name>x</name></root>')
+        root = parse_document(str(p), spec())
+        assert root.get("id") == "1"
+
+
+class TestBoolAttr:
+    @pytest.mark.parametrize("raw,expected", [
+        ("yes", True), ("No", False), ("TRUE", True), ("0", False),
+        ("on", True), ("off", False),
+    ])
+    def test_values(self, raw, expected):
+        el = ET.fromstring(f'<e flag="{raw}"/>')
+        assert bool_attr(el, "flag") is expected
+
+    def test_default(self):
+        el = ET.fromstring("<e/>")
+        assert bool_attr(el, "flag", True) is True
+
+    def test_garbage_rejected(self):
+        el = ET.fromstring('<e flag="maybe"/>')
+        with pytest.raises(XMLFormatError):
+            bool_attr(el, "flag")

@@ -1,0 +1,144 @@
+"""Round-trip tests for the input-description and query writers."""
+
+import pytest
+
+from repro.parse import (DerivedParameter, FilenameLocation,
+                         FixedLocation, FixedValue, InputDescription,
+                         NamedLocation, RunSeparator, TabularColumn,
+                         TabularLocation)
+from repro.query import (Combiner, Operator, Output, ParameterSpec,
+                         Query, RunFilter, Source)
+from repro.workloads.beffio_assets import (fig8_query_xml, input_xml,
+                                           stddev_query_xml)
+from repro.xmlio import (input_to_xml, parse_input_xml,
+                         parse_query_xml, query_to_xml)
+
+
+class TestInputWriter:
+    def test_beffio_description_roundtrips(self):
+        original = parse_input_xml(input_xml())
+        rendered = input_to_xml(original)
+        back = parse_input_xml(rendered)
+        assert len(back.locations) == len(original.locations)
+        assert [type(l) for l in back.locations] == \
+            [type(l) for l in original.locations]
+
+    def test_all_location_kinds_roundtrip(self):
+        original = InputDescription([
+            NamedLocation("a", "A=", regex=False, direction="before",
+                          word=2, which="last"),
+            FixedLocation("b", row=-1, column=3),
+            TabularLocation([TabularColumn("c", 1),
+                             TabularColumn("d", 4)],
+                            start=r"^TAB", regex=True, offset=2,
+                            stop="END", on_mismatch="skip",
+                            max_skip=2, max_rows=10),
+            FilenameLocation("e", pattern=r"_(x|y)_"),
+            FilenameLocation("f", separator="-", part=2),
+            FixedValue("g", "constant"),
+            DerivedParameter("h", "c * d + 1"),
+        ], separator=RunSeparator("===", regex=False,
+                                  keep_line=False, leading="run"),
+            name="everything")
+        back = parse_input_xml(input_to_xml(original))
+        assert back.name == "everything"
+        named = back.locations[0]
+        assert (named.direction, named.word, named.which) == \
+            ("before", 2, "last")
+        tab = back.locations[2]
+        assert (tab.offset, tab.stop, tab.on_mismatch, tab.max_skip,
+                tab.max_rows) == (2, "END", "skip", 2, 10)
+        assert back.locations[6].expression.source == "c * d + 1"
+        assert back.separator.leading == "run"
+        assert not back.separator.keep_line
+
+    def test_attribute_escaping(self):
+        original = InputDescription(
+            [NamedLocation("a", 'quote " and <angle>')])
+        back = parse_input_xml(input_to_xml(original))
+        assert back.locations[0].match == 'quote " and <angle>'
+
+    def test_behavioural_equivalence(self, simple_experiment):
+        """The round-tripped description extracts identical runs."""
+        from repro.parse import Importer
+        text = ("technique=x\nfs=ufs\nDATA\n 1 write 2.0\n"
+                " 2 read 4.0\n")
+        original = InputDescription([
+            NamedLocation("technique", "technique="),
+            NamedLocation("fs", "fs="),
+            TabularLocation([TabularColumn("S_chunk", 1),
+                             TabularColumn("access", 2),
+                             TabularColumn("bw", 3)], start="DATA"),
+        ])
+        back = parse_input_xml(input_to_xml(original))
+        runs_a = original.extract(text, "f",
+                                  simple_experiment.variables)
+        runs_b = back.extract(text, "f", simple_experiment.variables)
+        assert runs_a[0].once == runs_b[0].once
+        assert runs_a[0].datasets == runs_b[0].datasets
+
+
+class TestQueryWriter:
+    def test_fig8_roundtrips(self):
+        original = parse_query_xml(fig8_query_xml())
+        back = parse_query_xml(query_to_xml(original))
+        assert list(back.elements) == list(original.elements)
+
+    def test_stddev_roundtrips(self):
+        original = parse_query_xml(stddev_query_xml())
+        back = parse_query_xml(query_to_xml(original))
+        assert list(back.elements) == list(original.elements)
+
+    def test_full_feature_query_roundtrips(self):
+        from datetime import datetime
+        original = Query([
+            Source("s", parameters=[
+                ParameterSpec("technique", "old", show=False),
+                ParameterSpec("S_chunk", 1024, op=">="),
+                ParameterSpec("access")],
+                results=["bw"],
+                runs=RunFilter(min_index=2,
+                               since=datetime(2004, 1, 1)),
+                include_run_index=True),
+            Operator("f", "filter", ["s"], expression="bw > 0"),
+            Operator("m", "avg", ["f"]),
+            Operator("c", "convert", ["m"], unit="GB/s"),
+            Operator("n", "norm", ["c"], mode="sum"),
+            Operator("e", "eval", ["n"], expression="bw * 2",
+                     result_name="double"),
+            Source("s2", parameters=[ParameterSpec("S_chunk")],
+                   results=["bw"]),
+            Operator("m2", "avg", ["s2"], use_sql=False),
+            Combiner("merge", ["e", "m2"],
+                     keep_duplicate_parameters=True),
+            Output("o", ["merge"], format="gnuplot",
+                   options={"style": "bars", "x": "S_chunk"}),
+        ], name="everything")
+        rendered = query_to_xml(original)
+        back = parse_query_xml(rendered)
+        assert list(back.elements) == list(original.elements)
+        s = back.elements["s"]
+        assert s.runs.min_index == 2
+        assert s.include_run_index
+        assert s.parameters[1].op == ">="
+        assert back.elements["c"].unit.symbol == "GB/s"
+        assert back.elements["n"].mode == "sum"
+        assert back.elements["m2"].use_sql is False
+        assert back.elements["merge"].keep_duplicate_parameters
+        assert back.elements["o"].options["style"] == "bars"
+
+    def test_behavioural_equivalence(self, filled_experiment):
+        original = parse_query_xml("""
+        <query name="q">
+          <source id="s">
+            <parameter name="S_chunk"/>
+            <parameter name="access"/>
+            <result name="bw"/>
+          </source>
+          <operator id="m" type="avg" input="s"/>
+          <output id="t" input="m" format="csv"/>
+        </query>""")
+        back = parse_query_xml(query_to_xml(original))
+        a = original.execute(filled_experiment).artifacts
+        b = back.execute(filled_experiment).artifacts
+        assert [x.content for x in a] == [x.content for x in b]
