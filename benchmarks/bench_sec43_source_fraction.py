@@ -2,13 +2,16 @@
 source elements is typically only about 10%.  This fraction decreases
 with increasing complexity of the query."
 
-Profiles queries of growing operator depth on the large experiment and
-reports the source fraction per complexity level."""
+Executes queries of growing operator depth on the large experiment
+under the tracing subsystem and derives the source fraction from the
+recorded element spans — the same way the paper's authors profiled the
+real query command rather than a model."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.obs import QueryProfile, Tracer, use_tracer
 from repro.query import (Operator, Output, ParameterSpec, Query, Source)
 from _helpers import report
 
@@ -45,10 +48,19 @@ def query_with_depth(depth):
 
 
 def source_fraction(exp, depth, repeats=3):
+    """Average source fraction of ``repeats`` traced executions.
+
+    The fraction is computed from the trace's element spans via
+    :meth:`QueryProfile.from_spans`, not from the legacy profile
+    collector — the claim is reproduced from real spans."""
     fractions = []
     for _ in range(repeats):
-        result = query_with_depth(depth).execute(exp, profile=True)
-        fractions.append(result.profile.source_fraction())
+        tracer = Tracer()
+        with use_tracer(tracer):
+            query_with_depth(depth).execute(exp)
+        profile = QueryProfile.from_spans(tracer.spans,
+                                          f"depth{depth}")
+        fractions.append(profile.source_fraction())
     return sum(fractions) / len(fractions)
 
 

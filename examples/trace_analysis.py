@@ -85,3 +85,34 @@ result = comparison.execute(experiment)
 print(result.artifact("chart.chart.txt").content)
 print("-> the binary traces tell the same story as the ASCII "
       "b_eff_io files: the list-less technique's I/O path regressed.")
+
+# --- tracing perfbase itself: record, persist, read back --------------------
+# The observability subsystem (repro.obs) traces perfbase's own
+# execution: every query element, DB statement and imported file
+# becomes a span.  Here the comparison query is re-run under a tracer
+# writing a JSON-lines file, which is then loaded back and analysed —
+# reproducing the paper's Section 4.3 "where does query time go?"
+# measurement from the persisted trace alone.
+import tempfile
+
+from repro.obs import (JsonLinesSink, InMemorySink, QueryProfile,
+                       Tracer, read_trace, summary_table, use_tracer)
+
+trace_path = tempfile.mktemp(suffix=".jsonl", prefix="perfbase_trace_")
+tracer = Tracer(InMemorySink(), JsonLinesSink(trace_path))
+with use_tracer(tracer):
+    comparison.execute(experiment)
+tracer.close()
+
+loaded = read_trace(trace_path)
+print(f"\nrecorded {len(loaded.spans)} spans to {trace_path}")
+print(f"span kinds: "
+      + ", ".join(f"{kind}×{len(spans)}"
+                  for kind, spans in sorted(loaded.by_kind().items())))
+profile = QueryProfile.from_spans(loaded.spans, "io_comparison")
+print(f"source fraction from the persisted trace: "
+      f"{100 * profile.source_fraction():.1f}% "
+      "(the paper: 'typically only about 10%')")
+print()
+print(summary_table(loaded.element_spans(),
+                    title="element spans read back from the trace"))

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repo check runner: tier-1 test suite plus the observability battery.
+#
+# Test order is deterministic (pytest collects files alphabetically and
+# we disable random ordering if the pytest-randomly plugin happens to
+# be installed), so failures bisect cleanly.
+set -e
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q -p no:randomly tests
+
+echo "== observability battery (pytest -m obs) =="
+python -m pytest -q -p no:randomly -m obs tests

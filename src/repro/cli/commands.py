@@ -19,8 +19,8 @@ from ..status import (experiment_report, list_runs,
 from ..xmlio import (experiment_to_xml, parse_experiment_xml,
                      parse_input_xml, parse_query_xml)
 from .common import (CommandError, add_dbdir_argument,
-                     add_experiment_argument, echo, open_experiment,
-                     open_server)
+                     add_experiment_argument, add_obs_arguments, echo,
+                     obs_session, open_experiment, open_server)
 
 __all__ = ["register_all"]
 
@@ -71,7 +71,8 @@ def cmd_input(args: argparse.Namespace) -> int:
     for pattern in args.files:
         matches = glob.glob(pattern)
         paths.extend(matches if matches else [pattern])
-    report = importer.import_files(paths)
+    with obs_session(args):
+        report = importer.import_files(paths)
     echo(f"imported {report.n_imported} run(s) from "
          f"{len(paths)} file(s)")
     if report.duplicates:
@@ -101,6 +102,7 @@ def _register_input(sub) -> None:
                    help="policy for variables without content")
     p.add_argument("--fixed", action="append", metavar="NAME=VALUE",
                    help="fixed value override (repeatable)")
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_input)
 
@@ -112,18 +114,21 @@ def cmd_query(args: argparse.Namespace) -> int:
     """Run a query specification against an experiment."""
     exp = open_experiment(args)
     query = parse_query_xml(args.query)
-    if args.parallel > 1:
-        from ..parallel import ParallelQueryExecutor, SimulatedCluster
-        cluster = SimulatedCluster(args.parallel)
-        executor = ParallelQueryExecutor(cluster)
-        result, stats = executor.execute(query, exp,
-                                         profile=args.profile)
-        echo(f"parallel execution on {stats.n_nodes} nodes: "
-             f"{stats.wall_seconds * 1e3:.1f} ms wall, "
-             f"{stats.transfers} transfers")
-        cluster.shutdown()
-    else:
-        result = query.execute(exp, profile=args.profile)
+    with obs_session(args):
+        if args.parallel > 1:
+            from ..parallel import (ParallelQueryExecutor,
+                                    SimulatedCluster)
+            cluster = SimulatedCluster(args.parallel)
+            executor = ParallelQueryExecutor(cluster)
+            result, stats = executor.execute(query, exp,
+                                             profile=args.profile)
+            echo(f"parallel execution on {stats.n_nodes} nodes: "
+                 f"{stats.wall_seconds * 1e3:.1f} ms wall, "
+                 f"{stats.transfers} transfers, "
+                 f"{stats.queue_wait_seconds * 1e3:.1f} ms queue wait")
+            cluster.shutdown()
+        else:
+            result = query.execute(exp, profile=args.profile)
     outdir = args.output or "."
     for path in result.write_all(outdir):
         echo(f"wrote {path}")
@@ -165,6 +170,7 @@ def _register_query(sub) -> None:
                    help="print per-element timing")
     p.add_argument("--parallel", type=int, default=1, metavar="N",
                    help="execute on a simulated N-node cluster")
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_query)
 

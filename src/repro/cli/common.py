@@ -3,14 +3,15 @@
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 
 from ..core.experiment import Experiment
 from ..db.sqlite_backend import SQLiteServer
 
-__all__ = ["add_dbdir_argument", "open_server", "open_experiment",
-           "CommandError"]
+__all__ = ["add_dbdir_argument", "add_obs_arguments", "open_server",
+           "open_experiment", "obs_session", "CommandError"]
 
 #: default database directory, overridable via environment (mirrors the
 #: paper's "personal database server on his local workstation")
@@ -46,3 +47,50 @@ def open_experiment(args: argparse.Namespace) -> Experiment:
 
 def echo(message: str = "") -> None:
     sys.stdout.write(message + "\n")
+
+
+# -- observability -----------------------------------------------------------
+
+
+def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the tracing/metrics flags shared by data-path commands."""
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record a JSON-lines execution trace (spans + metrics) "
+             "to FILE")
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print a span-summary and metrics table after the command")
+
+
+@contextlib.contextmanager
+def obs_session(args: argparse.Namespace):
+    """Activate tracing for a command according to its obs flags.
+
+    Yields the active :class:`~repro.obs.tracer.Tracer` (or ``None``
+    when neither ``--trace`` nor ``--metrics`` was given — the
+    zero-overhead path).  On exit the trace file is finalised and, with
+    ``--metrics``, the ASCII summary is printed.
+    """
+    trace_file = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if not trace_file and not want_metrics:
+        yield None
+        return
+    from ..obs import (InMemorySink, JsonLinesSink, Tracer,
+                       metrics_table, summary_table, use_tracer)
+    sinks = [InMemorySink()]
+    if trace_file:
+        sinks.append(JsonLinesSink(trace_file))
+    tracer = Tracer(*sinks)
+    try:
+        with use_tracer(tracer):
+            yield tracer
+    finally:
+        tracer.close()
+        if trace_file:
+            echo(f"wrote trace to {trace_file}")
+        if want_metrics:
+            echo(summary_table(tracer.spans))
+            if tracer.metrics.names():
+                echo(metrics_table(tracer.metrics))

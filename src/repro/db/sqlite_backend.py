@@ -25,6 +25,7 @@ from typing import Any, Iterable, Sequence
 
 from ..core.errors import (DatabaseError, ExperimentExistsError,
                            NoSuchExperimentError)
+from ..obs.tracer import current_tracer
 from .backend import Database, DatabaseServer, quote_identifier
 
 __all__ = ["SQLiteDatabase", "SQLiteServer", "MemoryServer"]
@@ -96,6 +97,12 @@ def _adapt_datetime(value: datetime.datetime) -> str:
 
 
 sqlite3.register_adapter(datetime.datetime, _adapt_datetime)
+
+
+def _sql_summary(sql: str, limit: int = 120) -> str:
+    """Compact single-line form of a statement for span attributes."""
+    text = " ".join(sql.split())
+    return text if len(text) <= limit else text[:limit - 1] + "…"
 
 
 def _to_uri(path: str) -> str:
@@ -170,38 +177,71 @@ class SQLiteDatabase(Database):
         self._conn.create_aggregate("pb_median", 1, _Median)
         self._conn.create_aggregate("pb_product", 1, _Product)
 
+    def _run(self, sql: str, params: Any, *, many: bool = False,
+             fetch: str | None = None):
+        """Single choke point for statement execution.
+
+        Serialises on the per-database lock, maps sqlite errors, and —
+        only when a tracer is active — wraps the statement in a ``db``
+        span with row counters, so the disabled path stays exactly the
+        pre-instrumentation code.
+        """
+        tracer = current_tracer()
+        if tracer is None:
+            with self._lock:
+                try:
+                    if many:
+                        self._conn.executemany(sql, params)
+                        return None
+                    cur = self._conn.execute(sql, params)
+                    if fetch == "all":
+                        return cur.fetchall()
+                    if fetch == "one":
+                        return cur.fetchone()
+                    return None
+                except sqlite3.Error as exc:
+                    raise DatabaseError(f"{exc} [sql: {sql}]") from exc
+        op = ("db.executemany" if many
+              else f"db.fetch{fetch}" if fetch else "db.execute")
+        with tracer.span(op, kind="db", sql=_sql_summary(sql)) as span:
+            with self._lock:
+                try:
+                    cur = (self._conn.executemany(sql, params) if many
+                           else self._conn.execute(sql, params))
+                    result = (cur.fetchall() if fetch == "all"
+                              else cur.fetchone() if fetch == "one"
+                              else None)
+                except sqlite3.Error as exc:
+                    raise DatabaseError(f"{exc} [sql: {sql}]") from exc
+            if fetch == "all":
+                rows = len(result)
+            elif fetch == "one":
+                rows = 0 if result is None else 1
+            else:
+                rows = max(cur.rowcount, 0)
+            span.attributes["rows"] = rows
+            metrics = tracer.metrics
+            metrics.counter("db.statements").inc()
+            if fetch:
+                metrics.counter("db.rows_fetched").inc(rows)
+            else:
+                metrics.counter("db.rows_affected").inc(rows)
+            return result
+
     def execute(self, sql: str, params: Sequence[Any] = ()) -> None:
-        with self._lock:
-            try:
-                self._conn.execute(sql, tuple(params))
-            except sqlite3.Error as exc:
-                raise DatabaseError(f"{exc} [sql: {sql}]") from exc
+        self._run(sql, tuple(params))
 
     def executemany(self, sql: str,
                     rows: Iterable[Sequence[Any]]) -> None:
-        with self._lock:
-            try:
-                self._conn.executemany(sql, [tuple(r) for r in rows])
-            except sqlite3.Error as exc:
-                raise DatabaseError(f"{exc} [sql: {sql}]") from exc
+        self._run(sql, [tuple(r) for r in rows], many=True)
 
     def fetchall(self, sql: str,
                  params: Sequence[Any] = ()) -> list[tuple]:
-        with self._lock:
-            try:
-                cur = self._conn.execute(sql, tuple(params))
-                return cur.fetchall()
-            except sqlite3.Error as exc:
-                raise DatabaseError(f"{exc} [sql: {sql}]") from exc
+        return self._run(sql, tuple(params), fetch="all")
 
     def fetchone(self, sql: str,
                  params: Sequence[Any] = ()) -> tuple | None:
-        with self._lock:
-            try:
-                cur = self._conn.execute(sql, tuple(params))
-                return cur.fetchone()
-            except sqlite3.Error as exc:
-                raise DatabaseError(f"{exc} [sql: {sql}]") from exc
+        return self._run(sql, tuple(params), fetch="one")
 
     def table_exists(self, name: str) -> bool:
         row = self.fetchone(

@@ -1,0 +1,183 @@
+"""Metrics registry: counters, gauges and histograms.
+
+The trace (:mod:`repro.obs.spans`) answers *where did this run spend
+its time*; metrics answer *how often / how much* — statements executed,
+rows moved, duplicate files skipped, queue waits in the parallel
+executor.  All instruments are thread-safe: the parallel executor's
+worker pool increments them concurrently.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Iterable, Mapping
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
+
+#: default histogram bucket upper bounds (seconds-oriented, exponential)
+DEFAULT_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+
+class Counter:
+    """Monotonically increasing value (counts, row totals, seconds)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A value that goes up and down (in-flight elements, queue depth)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: int | float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Distribution of observed values in fixed buckets.
+
+    ``buckets`` are upper bounds; one overflow bucket is implicit.
+    Tracks count/sum/min/max exactly, the distribution approximately.
+    """
+
+    def __init__(self, name: str,
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds = sorted(float(b) for b in buckets)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: int | float) -> None:
+        value = float(value)
+        with self._lock:
+            self.counts[bisect.bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "histogram", "count": self.count,
+                "sum": self.sum, "min": self.min, "max": self.max,
+                "bounds": list(self.bounds),
+                "counts": list(self.counts)}
+
+
+class Metrics:
+    """Registry of named instruments, created on first use.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name with a different kind is a programming
+    error and raises.
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls, *args):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name, *args)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(inst).__name__}, "
+                    f"not a {cls.__name__}")
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Iterable[float] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        return self._get(name, Histogram, buckets)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def get(self, name: str):
+        """Look up an existing instrument (KeyError if absent)."""
+        with self._lock:
+            return self._instruments[name]
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-able dump of every instrument's current state."""
+        with self._lock:
+            items = list(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in items}
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, Mapping[str, Any]]
+                      ) -> "Metrics":
+        """Rebuild a read-only view from :meth:`snapshot` output."""
+        metrics = cls()
+        for name, snap in data.items():
+            kind = snap.get("type")
+            if kind == "counter":
+                metrics.counter(name).inc(snap.get("value", 0))
+            elif kind == "gauge":
+                metrics.gauge(name).set(snap.get("value", 0))
+            elif kind == "histogram":
+                hist = metrics.histogram(
+                    name, snap.get("bounds", DEFAULT_BUCKETS))
+                hist.count = int(snap.get("count", 0))
+                hist.sum = float(snap.get("sum", 0.0))
+                hist.min = snap.get("min")
+                hist.max = snap.get("max")
+                counts = snap.get("counts")
+                if counts and len(counts) == len(hist.counts):
+                    hist.counts = [int(c) for c in counts]
+        return metrics

@@ -1,0 +1,114 @@
+"""Per-element query profiles — a view over the trace.
+
+Section 4.3: "we profiled the perfbase query command and could see that
+in fact, the fraction of time spent within the source elements is
+typically only about 10%.  This fraction decreases with increasing
+complexity of the query."
+
+:class:`QueryProfile` aggregates per-element timings into exactly that
+metric (:meth:`QueryProfile.source_fraction`).  Since the tracing
+subsystem records every element execution as a span, a profile is now
+just a *view* over the element spans of a trace
+(:meth:`QueryProfile.from_spans`); the record/collect API remains for
+callers that profile without a tracer (the serial engine's
+``profile=True`` path and the schedule simulator).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .spans import Span
+
+__all__ = ["ElementTiming", "QueryProfile"]
+
+
+@dataclass(frozen=True)
+class ElementTiming:
+    """Timing record of one element execution."""
+
+    name: str
+    kind: str
+    seconds: float
+    rows: int
+    #: columns of the output vector (0 for output elements)
+    cols: int = 0
+
+
+@dataclass
+class QueryProfile:
+    """Thread-safe collector of element timings for one query run."""
+
+    query_name: str = "query"
+    timings: list[ElementTiming] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    @classmethod
+    def from_spans(cls, spans: Iterable["Span"],
+                   query_name: str = "query") -> "QueryProfile":
+        """Build a profile from the element spans of a trace.
+
+        Non-element spans (DB statements, transfers, roots) are
+        ignored, so a full execution trace can be passed unfiltered —
+        this is how the Section 4.3 benchmark derives the paper's
+        source-fraction number from a recorded trace alone.
+        """
+        from .spans import ELEMENT_KINDS
+        profile = cls(query_name=query_name)
+        for span in spans:
+            if span.kind in ELEMENT_KINDS:
+                profile.record(span.name, span.kind,
+                               span.wall_seconds, span.rows,
+                               int(span.attributes.get("cols", 0) or 0))
+        return profile
+
+    def record(self, name: str, kind: str, seconds: float,
+               rows: int, cols: int = 0) -> None:
+        with self._lock:
+            self.timings.append(
+                ElementTiming(name, kind, seconds, rows, cols))
+
+    def timing_of(self, name: str) -> ElementTiming:
+        for t in self.timings:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    # -- aggregation -----------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.timings)
+
+    def seconds_by_kind(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for t in self.timings:
+            out[t.kind] = out.get(t.kind, 0.0) + t.seconds
+        return out
+
+    def source_fraction(self) -> float:
+        """Fraction of total element time spent in source elements —
+        the paper's ~10% number."""
+        total = self.total_seconds
+        if total == 0.0:
+            return 0.0
+        return self.seconds_by_kind().get("source", 0.0) / total
+
+    def report(self) -> str:
+        """Human-readable profile table."""
+        lines = [f"query profile: {self.query_name}",
+                 f"{'element':<24} {'kind':<10} {'rows':>8} "
+                 f"{'seconds':>10} {'share':>7}"]
+        total = self.total_seconds or 1.0
+        for t in sorted(self.timings, key=lambda t: -t.seconds):
+            lines.append(
+                f"{t.name:<24} {t.kind:<10} {t.rows:>8} "
+                f"{t.seconds:>10.6f} {100 * t.seconds / total:>6.1f}%")
+        lines.append(
+            f"total {self.total_seconds:.6f}s, source fraction "
+            f"{100 * self.source_fraction():.1f}%")
+        return "\n".join(lines)

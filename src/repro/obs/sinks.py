@@ -1,0 +1,247 @@
+"""Pluggable span sinks plus trace persistence and rendering.
+
+Three sinks ship:
+
+* :class:`InMemorySink` — collects spans in a list; what tests and the
+  benchmarks use.
+* :class:`JsonLinesSink` — appends each finished span as one JSON
+  object per line; :func:`read_trace` loads such a file back.  This is
+  the durable form: a benchmark can re-derive the paper's Section 4.3
+  source-fraction number from the file alone.
+* :class:`AsciiSummarySink` — aggregates spans and renders an ASCII
+  summary table through the existing
+  :class:`~repro.output.ascii_table.AsciiTableFormat`, so trace
+  summaries look exactly like query output tables.
+
+The heavy imports (database, output formats) happen lazily inside the
+rendering helpers: the DB layer itself is instrumented and imports this
+package, so module level here must stay dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterable, Sequence
+
+from .metrics import Metrics
+from .spans import ELEMENT_KINDS, Span
+
+__all__ = ["Sink", "InMemorySink", "JsonLinesSink", "AsciiSummarySink",
+           "TraceData", "read_trace", "summary_table", "metrics_table"]
+
+
+class Sink:
+    """Destination for finished spans.  Subclasses override both hooks."""
+
+    def emit(self, span: Span) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self, metrics: Metrics | None = None) -> None:
+        """Flush buffered state; ``metrics`` is the tracer's registry."""
+
+
+class InMemorySink(Sink):
+    """Collects finished spans in a thread-safe list."""
+
+    def __init__(self):
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+
+    def emit(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    @property
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class JsonLinesSink(Sink):
+    """Writes spans as JSON lines; the metrics snapshot goes last.
+
+    Accepts a path (opened and owned by the sink) or an open text
+    stream (flushed but not closed).  Lines are self-describing:
+    ``{"type": "span", ...}`` and ``{"type": "metrics", ...}``.
+    """
+
+    def __init__(self, target: str | IO[str]):
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def emit(self, span: Span) -> None:
+        line = json.dumps({"type": "span", **span.to_dict()},
+                          default=str)
+        with self._lock:
+            self._fh.write(line + "\n")
+
+    def close(self, metrics: Metrics | None = None) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if metrics is not None:
+                self._fh.write(json.dumps(
+                    {"type": "metrics",
+                     "metrics": metrics.snapshot()}) + "\n")
+            self._fh.flush()
+            if self._owns:
+                self._fh.close()
+
+
+@dataclass
+class TraceData:
+    """A loaded trace: spans in emission order plus the final metrics."""
+
+    spans: list[Span] = field(default_factory=list)
+    metrics: Metrics = field(default_factory=Metrics)
+
+    def element_spans(self) -> list[Span]:
+        return [s for s in self.spans if s.kind in ELEMENT_KINDS]
+
+    def by_kind(self) -> dict[str, list[Span]]:
+        out: dict[str, list[Span]] = {}
+        for span in self.spans:
+            out.setdefault(span.kind, []).append(span)
+        return out
+
+    def roots(self) -> list[Span]:
+        """Spans whose parent is missing from the trace (tree roots)."""
+        ids = {s.span_id for s in self.spans}
+        return [s for s in self.spans
+                if s.parent_id is None or s.parent_id not in ids]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+
+def read_trace(path: str) -> TraceData:
+    """Load a JSON-lines trace written by :class:`JsonLinesSink`."""
+    trace = TraceData()
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "span":
+                trace.spans.append(Span.from_dict(record))
+            elif record.get("type") == "metrics":
+                trace.metrics = Metrics.from_snapshot(
+                    record.get("metrics", {}))
+    return trace
+
+
+# -- ASCII rendering ---------------------------------------------------------
+
+
+def _render_ascii(rows: Sequence[Sequence[Any]],
+                  columns: Sequence[tuple[str, str]],
+                  title: str) -> str:
+    """Render rows through the regular ASCII-table output format.
+
+    Builds a throwaway in-memory vector so the observability summary
+    uses the same renderer as query results (imports deferred — see
+    module docstring).
+    """
+    from ..core.datatypes import DataType
+    from ..db.sqlite_backend import SQLiteDatabase
+    from ..output.ascii_table import AsciiTableFormat
+    from ..query.vectors import ColumnInfo, DataVector
+
+    db = SQLiteDatabase()
+    names = [name for name, _ in columns]
+    sql_types = {"string": "TEXT", "integer": "INTEGER",
+                 "float": "REAL"}
+    db.create_table("obs_summary",
+                    [(name, sql_types[dt]) for name, dt in columns])
+    if rows:
+        db.insert_rows("obs_summary", names, rows)
+    infos = [ColumnInfo(name, datatype=DataType(dt),
+                        is_result=(dt != "string"))
+             for name, dt in columns]
+    vector = DataVector(db, "obs_summary", infos, producer="obs")
+    fmt = AsciiTableFormat({"title": title, "precision": 6,
+                            "sort_by": names[0]})
+    text = fmt.render_one(vector)
+    db.close()
+    return text
+
+
+def summary_table(spans: Iterable[Span],
+                  title: str = "trace summary") -> str:
+    """Aggregate spans per (kind, name) into an ASCII table."""
+    groups: dict[tuple[str, str], list[Span]] = {}
+    for span in spans:
+        groups.setdefault((span.kind, span.name), []).append(span)
+    rows = []
+    for (kind, name), members in sorted(groups.items()):
+        rows.append([
+            kind, name, len(members),
+            sum(s.wall_seconds for s in members),
+            sum(s.cpu_seconds for s in members),
+            sum(s.rows for s in members),
+        ])
+    return _render_ascii(
+        rows,
+        [("kind", "string"), ("name", "string"),
+         ("count", "integer"), ("wall_s", "float"),
+         ("cpu_s", "float"), ("rows", "integer")],
+        title)
+
+
+def metrics_table(metrics: Metrics,
+                  title: str = "metrics") -> str:
+    """Render a metrics registry as an ASCII table."""
+    rows = []
+    for name, snap in sorted(metrics.snapshot().items()):
+        if snap["type"] == "histogram":
+            count = snap["count"] or 0
+            mean = (snap["sum"] / count) if count else 0.0
+            rows.append([name, "histogram", float(count),
+                         f"sum={snap['sum']:.6g} mean={mean:.6g} "
+                         f"max={snap['max'] if snap['max'] is not None else 0:.6g}"])
+        else:
+            rows.append([name, snap["type"],
+                         float(snap["value"]), ""])
+    return _render_ascii(
+        rows,
+        [("metric", "string"), ("type", "string"),
+         ("value", "float"), ("detail", "string")],
+        title)
+
+
+class AsciiSummarySink(Sink):
+    """Buffers spans; writes summary (and metrics) tables on close."""
+
+    def __init__(self, stream: IO[str], *,
+                 title: str = "trace summary"):
+        self._stream = stream
+        self._title = title
+        self._buffer = InMemorySink()
+
+    def emit(self, span: Span) -> None:
+        self._buffer.emit(span)
+
+    def close(self, metrics: Metrics | None = None) -> None:
+        self._stream.write(summary_table(self._buffer.spans,
+                                         self._title))
+        if metrics is not None and metrics.names():
+            self._stream.write("\n")
+            self._stream.write(metrics_table(metrics))

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from ..db.backend import Database
 from ..db.sqlite_backend import SQLiteDatabase
 from ..db.temptables import TempTableManager
+from ..obs.tracer import current_tracer, maybe_span
 from ..query.vectors import DataVector
 from .network import HIGH_SPEED, InterconnectModel
 
@@ -84,18 +85,32 @@ def copy_vector(vector: DataVector, target: ClusterNode,
     """
     if vector.db is target.db:
         return vector
-    rows = vector.rows()
-    seconds = cluster.interconnect.charge(
-        len(rows), len(vector.columns), apply_delay=apply_delay)
-    cluster.transfer_seconds += seconds
-    cluster.transfers += 1
-    from ..core.datatypes import sql_type
-    table = target.temptables.new_table(
-        f"xfer_{vector.producer or 'v'}",
-        [(c.name, sql_type(c.datatype)) for c in vector.columns])
-    if rows:
-        target.db.insert_rows(
-            table, [c.name for c in vector.columns], rows)
+    with maybe_span(f"xfer_{vector.producer or 'v'}",
+                    kind="transfer", node=target.index) as span:
+        rows = vector.rows()
+        seconds = cluster.interconnect.charge(
+            len(rows), len(vector.columns), apply_delay=apply_delay)
+        cluster.transfer_seconds += seconds
+        cluster.transfers += 1
+        if span is not None:
+            n_bytes = (len(rows) * len(vector.columns)
+                       * cluster.interconnect.bytes_per_cell)
+            span.attributes.update(
+                rows=len(rows), cols=len(vector.columns),
+                bytes=n_bytes, modelled_seconds=seconds)
+            tracer = current_tracer()
+            metrics = tracer.metrics
+            metrics.counter("transfer.vectors").inc()
+            metrics.counter("transfer.rows").inc(len(rows))
+            metrics.counter("transfer.bytes").inc(n_bytes)
+            metrics.counter("transfer.modelled_seconds").inc(seconds)
+        from ..core.datatypes import sql_type
+        table = target.temptables.new_table(
+            f"xfer_{vector.producer or 'v'}",
+            [(c.name, sql_type(c.datatype)) for c in vector.columns])
+        if rows:
+            target.db.insert_rows(
+                table, [c.name for c in vector.columns], rows)
     return DataVector(target.db, table, vector.columns,
                       from_source=vector.from_source,
                       producer=vector.producer)

@@ -15,13 +15,16 @@ overlap.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass, field
 
 from ..core.access import UserClass
 from ..core.errors import QueryError
 from ..core.experiment import Experiment
+from ..obs.tracer import current_tracer, use_tracer
 from ..query.elements import QueryContext
 from ..query.engine import Query, QueryResult
 from ..query.vectors import DataVector
@@ -44,6 +47,8 @@ class ParallelRunStats:
     transfers: int = 0
     #: sum of element execution times (the serial work)
     busy_seconds: float = 0.0
+    #: summed time elements spent runnable-but-waiting for a worker
+    queue_wait_seconds: float = 0.0
 
     @property
     def parallel_efficiency(self) -> float:
@@ -92,30 +97,60 @@ class ParallelQueryExecutor:
         running: dict[Future, str] = {}
         errors: list[BaseException] = []
         busy = [0.0]
+        queue_wait = [0.0]
+        wait_lock = threading.Lock()
 
-        def run_element(name: str) -> None:
+        # Worker threads start in a fresh contextvars context, so the
+        # tracer active here must be re-activated inside each worker,
+        # with the run-root span as explicit parent for proper nesting.
+        tracer = current_tracer()
+
+        def run_element(name: str, ready_at: float,
+                        parent_span) -> None:
+            waited = time.perf_counter() - ready_at
+            with wait_lock:
+                queue_wait[0] += waited
             element = graph.elements[name]
             node = self.cluster.node(placement[name])
             ctx = contexts[node.index]
-            # ship inputs to this node (Fig. 3 data movement)
-            for input_name in element.inputs:
-                ctx.vectors[input_name] = copy_vector(
-                    vectors[input_name], node, self.cluster,
-                    apply_delay=self.apply_network_delay)
-            start = time.perf_counter()
-            vector = element.execute(ctx)
-            busy[0] += time.perf_counter() - start
+            with use_tracer(tracer, parent=parent_span):
+                if tracer is not None:
+                    tracer.metrics.histogram(
+                        "parallel.queue_wait_seconds").observe(waited)
+                node_cm = (tracer.span(
+                    f"node{node.index}", kind="node", element=name)
+                    if tracer is not None else nullcontext())
+                with node_cm:
+                    # ship inputs to this node (Fig. 3 data movement)
+                    for input_name in element.inputs:
+                        ctx.vectors[input_name] = copy_vector(
+                            vectors[input_name], node, self.cluster,
+                            apply_delay=self.apply_network_delay)
+                    start = time.perf_counter()
+                    vector = element.execute(ctx)
+                    busy[0] += time.perf_counter() - start
             if vector is not None:
                 vectors[name] = vector
 
         start_wall = time.perf_counter()
-        with ThreadPoolExecutor(
-                max_workers=len(self.cluster)) as pool:
+        with ExitStack() as stack:
+            root_span = None
+            if tracer is not None:
+                root_span = stack.enter_context(tracer.span(
+                    query.name, kind="parallel",
+                    nodes=len(self.cluster),
+                    scheduler=self.scheduler.name,
+                    elements=len(graph.elements)))
+            pool = stack.enter_context(ThreadPoolExecutor(
+                max_workers=len(self.cluster)))
+
             def submit_ready() -> None:
+                now = time.perf_counter()
                 for name in list(remaining):
                     if not remaining[name]:
                         del remaining[name]
-                        future = pool.submit(run_element, name)
+                        future = pool.submit(run_element, name, now,
+                                             root_span)
                         running[future] = name
 
             submit_ready()
@@ -134,9 +169,16 @@ class ParallelQueryExecutor:
                 submit_ready()
         stats.wall_seconds = time.perf_counter() - start_wall
         stats.busy_seconds = busy[0]
+        stats.queue_wait_seconds = queue_wait[0]
         stats.transfer_seconds = (self.cluster.transfer_seconds
                                   - transfer_base)
         stats.transfers = self.cluster.transfers - transfers_base
+        if tracer is not None:
+            metrics = tracer.metrics
+            metrics.counter("parallel.queries").inc()
+            metrics.counter("parallel.busy_seconds").inc(busy[0])
+            metrics.counter("parallel.transfer_seconds").inc(
+                stats.transfer_seconds)
 
         if errors:
             raise QueryError(

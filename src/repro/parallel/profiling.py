@@ -1,87 +1,13 @@
-"""Per-element query profiling.
+"""Per-element query profiling (compatibility re-export).
 
-Section 4.3: "we profiled the perfbase query command and could see that
-in fact, the fraction of time spent within the source elements is
-typically only about 10%.  This fraction decreases with increasing
-complexity of the query."
-
-:class:`QueryProfile` collects per-element wall-clock times during query
-execution and derives exactly that metric (:meth:`source_fraction`),
-which benchmark E7 reproduces.
+The profile implementation moved to :mod:`repro.obs.profile`, where it
+is a thin view over the tracing subsystem's element spans.  This module
+keeps the historical import path working for existing callers
+(``from repro.parallel.profiling import QueryProfile``).
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
+from ..obs.profile import ElementTiming, QueryProfile
 
 __all__ = ["ElementTiming", "QueryProfile"]
-
-
-@dataclass(frozen=True)
-class ElementTiming:
-    """Timing record of one element execution."""
-
-    name: str
-    kind: str
-    seconds: float
-    rows: int
-    #: columns of the output vector (0 for output elements)
-    cols: int = 0
-
-
-@dataclass
-class QueryProfile:
-    """Thread-safe collector of element timings for one query run."""
-
-    query_name: str = "query"
-    timings: list[ElementTiming] = field(default_factory=list)
-    _lock: threading.Lock = field(default_factory=threading.Lock,
-                                  repr=False)
-
-    def record(self, name: str, kind: str, seconds: float,
-               rows: int, cols: int = 0) -> None:
-        with self._lock:
-            self.timings.append(
-                ElementTiming(name, kind, seconds, rows, cols))
-
-    def timing_of(self, name: str) -> ElementTiming:
-        for t in self.timings:
-            if t.name == name:
-                return t
-        raise KeyError(name)
-
-    # -- aggregation -----------------------------------------------------
-
-    @property
-    def total_seconds(self) -> float:
-        return sum(t.seconds for t in self.timings)
-
-    def seconds_by_kind(self) -> dict[str, float]:
-        out: dict[str, float] = {}
-        for t in self.timings:
-            out[t.kind] = out.get(t.kind, 0.0) + t.seconds
-        return out
-
-    def source_fraction(self) -> float:
-        """Fraction of total element time spent in source elements —
-        the paper's ~10% number."""
-        total = self.total_seconds
-        if total == 0.0:
-            return 0.0
-        return self.seconds_by_kind().get("source", 0.0) / total
-
-    def report(self) -> str:
-        """Human-readable profile table."""
-        lines = [f"query profile: {self.query_name}",
-                 f"{'element':<24} {'kind':<10} {'rows':>8} "
-                 f"{'seconds':>10} {'share':>7}"]
-        total = self.total_seconds or 1.0
-        for t in sorted(self.timings, key=lambda t: -t.seconds):
-            lines.append(
-                f"{t.name:<24} {t.kind:<10} {t.rows:>8} "
-                f"{t.seconds:>10.6f} {100 * t.seconds / total:>6.1f}%")
-        lines.append(
-            f"total {self.total_seconds:.6f}s, source fraction "
-            f"{100 * self.source_fraction():.1f}%")
-        return "\n".join(lines)

@@ -28,6 +28,7 @@ from ..core.errors import DuplicateImportError, InputError
 from ..core.experiment import Experiment
 from ..core.run import RunData
 from ..db.checksums import content_checksum
+from ..obs.tracer import current_tracer, maybe_span
 from .description import InputDescription
 
 __all__ = ["MissingPolicy", "ImportReport", "Importer"]
@@ -99,6 +100,7 @@ class Importer:
 
     def _store(self, run: RunData, report: ImportReport) -> None:
         use_defaults = self.missing is not MissingPolicy.EMPTY
+        tracer = current_tracer()
         try:
             missing = run.validate(
                 self.experiment.variables,
@@ -108,12 +110,28 @@ class Importer:
         except InputError:
             if self.missing is MissingPolicy.DISCARD:
                 report.discarded += 1
+                if tracer is not None:
+                    tracer.metrics.counter(
+                        "import.runs_discarded").inc()
                 return
             raise
-        index = self.experiment.store_run(run, use_defaults=use_defaults)
+        with maybe_span("store_run", kind="import.run",
+                        datasets=len(run.datasets)) as span:
+            index = self.experiment.store_run(run,
+                                              use_defaults=use_defaults)
+            if span is not None:
+                span.attributes["run_index"] = index
+                span.attributes["rows"] = len(run.datasets)
         report.run_indices.append(index)
         if missing:
             report.missing[index] = missing
+        if tracer is not None:
+            tracer.metrics.counter("import.runs_stored").inc()
+            tracer.metrics.counter("import.datasets_stored").inc(
+                len(run.datasets))
+            if missing:
+                tracer.metrics.counter(
+                    "import.runs_missing_content").inc()
 
     def _read(self, path: str) -> str:
         with open(path, "r", encoding="utf-8", errors="replace") as fh:
@@ -135,17 +153,30 @@ class Importer:
         """Import one input text (cases a/b, programmatic form)."""
         desc = self._description(description)
         report = ImportReport()
-        try:
-            checksum = self._check_duplicate(text, filename)
-        except DuplicateImportError:
-            report.duplicates.append(filename)
-            return report
-        runs = desc.extract(text, filename, self.experiment.variables)
-        if not runs:
-            raise InputError(f"no runs found in {filename}")
-        for run in runs:
-            run.file_checksums[filename] = checksum
-            self._store(run, report)
+        tracer = current_tracer()
+        with maybe_span(filename, kind="import.file",
+                        bytes=len(text)) as span:
+            if tracer is not None:
+                tracer.metrics.counter("import.files").inc()
+            try:
+                checksum = self._check_duplicate(text, filename)
+            except DuplicateImportError:
+                report.duplicates.append(filename)
+                if tracer is not None:
+                    tracer.metrics.counter(
+                        "import.duplicates_skipped").inc()
+                if span is not None:
+                    span.attributes["duplicate"] = True
+                return report
+            runs = desc.extract(text, filename,
+                                self.experiment.variables)
+            if not runs:
+                raise InputError(f"no runs found in {filename}")
+            for run in runs:
+                run.file_checksums[filename] = checksum
+                self._store(run, report)
+            if span is not None:
+                span.attributes["runs"] = report.n_imported
         return report
 
     def import_file(self, path: str | os.PathLike,

@@ -12,16 +12,14 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
 
 from ..core.errors import QueryError
 from ..core.experiment import Experiment
 from ..db.backend import Database
 from ..db.temptables import TempTableManager
+from ..obs.profile import QueryProfile
+from ..obs.tracer import current_tracer
 from .vectors import DataVector
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..parallel.profiling import QueryProfile
 
 __all__ = ["QueryContext", "QueryElement"]
 
@@ -42,7 +40,7 @@ class QueryContext:
     #: output vectors of already-executed elements, by element name
     vectors: dict[str, DataVector] = field(default_factory=dict)
     #: optional per-element timing collector
-    profile: "QueryProfile | None" = None
+    profile: QueryProfile | None = None
 
     def vector_of(self, element_name: str) -> DataVector:
         try:
@@ -76,13 +74,34 @@ class QueryElement(abc.ABC):
         elements, a rendered artefact registered on the query)."""
 
     def execute(self, ctx: QueryContext) -> DataVector | None:
-        """Run with timing; stores the vector in the context."""
-        start = time.perf_counter()
-        vector = self.run(ctx)
-        elapsed = time.perf_counter() - start
+        """Run with timing; stores the vector in the context.
+
+        When a tracer is active, the execution is recorded as a span of
+        this element's kind carrying row/column counters — the unit the
+        Section 4.3 source-fraction analysis is computed from.
+        """
+        tracer = current_tracer()
+        if tracer is not None:
+            with tracer.span(self.name, kind=self.kind) as span:
+                vector = self.run(ctx)
+                if vector is not None or ctx.profile is not None:
+                    span.attributes["rows"] = (
+                        vector.n_rows if vector is not None else 0)
+                    span.attributes["cols"] = (
+                        len(vector.columns) if vector is not None
+                        else 0)
+            elapsed = span.wall_seconds
+            rows = int(span.attributes.get("rows", 0) or 0)
+            cols = int(span.attributes.get("cols", 0) or 0)
+        else:
+            start = time.perf_counter()
+            vector = self.run(ctx)
+            elapsed = time.perf_counter() - start
+            rows = cols = 0
+            if ctx.profile is not None:
+                rows = vector.n_rows if vector is not None else 0
+                cols = len(vector.columns) if vector is not None else 0
         if ctx.profile is not None:
-            rows = vector.n_rows if vector is not None else 0
-            cols = len(vector.columns) if vector is not None else 0
             ctx.profile.record(self.name, self.kind, elapsed, rows,
                                cols)
         if vector is not None:

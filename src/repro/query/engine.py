@@ -15,6 +15,8 @@ from typing import Iterable
 from ..core.access import UserClass
 from ..core.experiment import Experiment
 from ..db.temptables import TempTableManager
+from ..obs.profile import QueryProfile
+from ..obs.tracer import maybe_span
 from ..output.base import Artifact
 from .elements import QueryContext, QueryElement
 from .graph import QueryGraph
@@ -32,7 +34,7 @@ class QueryResult:
     #: final vectors by element name (outputs excluded — they render)
     vectors: dict[str, DataVector] = field(default_factory=dict)
     #: per-element timing, if profiling was requested
-    profile: "object | None" = None
+    profile: QueryProfile | None = None
 
     def artifact(self, name: str) -> Artifact:
         for a in self.artifacts:
@@ -70,16 +72,15 @@ class Query:
                                 f"execute query {self.name!r}")
         db = experiment.store.db
         temptables = TempTableManager(db, prefix=f"pbq_{_safe(self.name)}")
-        prof = None
-        if profile:
-            from ..parallel.profiling import QueryProfile
-            prof = QueryProfile(query_name=self.name)
+        prof = QueryProfile(query_name=self.name) if profile else None
         ctx = QueryContext(experiment=experiment, db=db,
                            temptables=temptables, profile=prof)
         result = QueryResult(profile=prof)
         try:
-            for element in self.graph.topological_order():
-                element.execute(ctx)
+            with maybe_span(self.name, kind="query", mode="serial",
+                            elements=len(self.graph.elements)):
+                for element in self.graph.topological_order():
+                    element.execute(ctx)
             for output in self.graph.outputs:
                 result.artifacts.extend(output.artifacts)
             result.vectors = dict(ctx.vectors)

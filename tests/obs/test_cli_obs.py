@@ -1,0 +1,117 @@
+"""CLI observability flags: --trace writes a loadable JSON-lines file,
+--metrics prints the summary tables."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import QueryProfile, read_trace
+from repro.workloads.beffio import generate_campaign
+from repro.workloads.beffio_assets import (experiment_xml,
+                                           fig8_query_xml, input_xml)
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    (tmp_path / "experiment.xml").write_text(experiment_xml())
+    (tmp_path / "input.xml").write_text(input_xml())
+    (tmp_path / "fig8.xml").write_text(fig8_query_xml())
+    results = tmp_path / "results"
+    results.mkdir()
+    for fname, content in generate_campaign(repetitions=2):
+        (results / fname).write_text(content)
+    return tmp_path
+
+
+def run(workspace, *argv):
+    return main([*argv, "--dbdir", str(workspace / "db")])
+
+
+def setup_and_import(workspace, *extra):
+    assert run(workspace, "setup", "-d",
+               str(workspace / "experiment.xml")) == 0
+    files = sorted(str(p) for p in (workspace / "results").iterdir())
+    assert run(workspace, "input", "-e", "b_eff_io", "-d",
+               str(workspace / "input.xml"), *extra, *files) == 0
+
+
+class TestTraceFlag:
+    def test_query_trace_written_and_loadable(self, workspace,
+                                              tmp_path, capsys):
+        setup_and_import(workspace)
+        trace_path = tmp_path / "query.jsonl"
+        assert run(workspace, "query", "-e", "b_eff_io", "-q",
+                   str(workspace / "fig8.xml"), "-o",
+                   str(workspace / "out"),
+                   "--trace", str(trace_path)) == 0
+        assert "wrote trace to" in capsys.readouterr().out
+        trace = read_trace(str(trace_path))
+        assert trace.spans
+        kinds = {s.kind for s in trace.spans}
+        assert "query" in kinds and "db" in kinds
+        elements = trace.element_spans()
+        assert {s.kind for s in elements} >= {"source", "output"}
+        profile = QueryProfile.from_spans(trace.spans)
+        assert 0 < profile.source_fraction() < 1
+        assert trace.metrics.get("db.statements").value > 0
+
+    def test_parallel_query_trace(self, workspace, tmp_path, capsys):
+        setup_and_import(workspace)
+        trace_path = tmp_path / "par.jsonl"
+        assert run(workspace, "query", "-e", "b_eff_io", "-q",
+                   str(workspace / "fig8.xml"), "-o",
+                   str(workspace / "out"), "--parallel", "2",
+                   "--trace", str(trace_path)) == 0
+        capsys.readouterr()
+        trace = read_trace(str(trace_path))
+        kinds = trace.by_kind()
+        assert "parallel" in kinds and "node" in kinds
+        # exactly one parallel run root; the other roots are the DB
+        # statements of opening the experiment and tearing down temp
+        # tables, which happen outside the run span
+        roots = trace.roots()
+        assert [r.kind for r in roots if r.kind != "db"] == \
+            ["parallel"]
+        run_root = next(r for r in roots if r.kind == "parallel")
+        assert trace.children_of(run_root)
+
+    def test_input_trace(self, workspace, tmp_path, capsys):
+        assert run(workspace, "setup", "-d",
+                   str(workspace / "experiment.xml")) == 0
+        files = sorted(str(p) for p in
+                       (workspace / "results").iterdir())
+        trace_path = tmp_path / "import.jsonl"
+        assert run(workspace, "input", "-e", "b_eff_io", "-d",
+                   str(workspace / "input.xml"),
+                   "--trace", str(trace_path), *files) == 0
+        capsys.readouterr()
+        trace = read_trace(str(trace_path))
+        files_seen = {s.name for s in trace.spans
+                      if s.kind == "import.file"}
+        assert files_seen == set(files)  # span name = imported path
+        assert trace.metrics.get("import.runs_stored").value == \
+            len(files)
+
+
+class TestMetricsFlag:
+    def test_metrics_tables_printed(self, workspace, capsys):
+        setup_and_import(workspace)
+        capsys.readouterr()
+        assert run(workspace, "query", "-e", "b_eff_io", "-q",
+                   str(workspace / "fig8.xml"), "-o",
+                   str(workspace / "out"), "--metrics") == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "db.statements" in out
+
+    def test_no_flags_no_observability_output(self, workspace,
+                                              capsys):
+        setup_and_import(workspace)
+        capsys.readouterr()
+        assert run(workspace, "query", "-e", "b_eff_io", "-q",
+                   str(workspace / "fig8.xml"), "-o",
+                   str(workspace / "out")) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" not in out
+        assert "wrote trace" not in out

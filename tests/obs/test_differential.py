@@ -1,0 +1,140 @@
+"""Keystone differential tests: tracing is pure observation.
+
+Enabling the tracer must change no query result — not one artifact
+byte, not one vector row — for both the serial engine and the parallel
+executor; and serial vs parallel executions of the same query must
+produce the same element-span set (the logical execution record)."""
+
+import pytest
+
+from repro.obs import Tracer, use_tracer
+from repro.parallel import ParallelQueryExecutor, SimulatedCluster
+from repro.query import (Combiner, Operator, Output, ParameterSpec,
+                         Query, Source)
+
+pytestmark = pytest.mark.obs
+
+
+def two_branch_query():
+    """Two sources, per-branch averaging, a comparison and a combine."""
+    def branch(tag, technique):
+        return [
+            Source(f"s{tag}", parameters=[
+                ParameterSpec("technique", technique, show=False),
+                ParameterSpec("S_chunk"), ParameterSpec("access")],
+                results=["bw"]),
+            Operator(f"a{tag}", "avg", [f"s{tag}"]),
+        ]
+    return Query(
+        branch("o", "old") + branch("n", "new") + [
+            Operator("rel", "above", ["an", "ao"]),
+            Output("table", ["rel"], format="ascii"),
+            Output("data", ["rel"], format="csv"),
+        ], name="diff")
+
+
+def artifact_map(result):
+    return {a.name: a.content for a in result.artifacts}
+
+
+def vector_rows(result):
+    return {name: sorted(map(tuple, vec.rows()))
+            for name, vec in result.vectors.items()}
+
+
+class TestSerialDifferential:
+    def test_artifacts_identical_with_and_without_tracing(
+            self, filled_experiment):
+        plain = two_branch_query().execute(filled_experiment)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            traced = two_branch_query().execute(filled_experiment)
+        assert artifact_map(plain) == artifact_map(traced)
+        assert tracer.spans  # tracing actually happened
+
+    def test_vectors_identical_with_and_without_tracing(
+            self, filled_experiment):
+        plain = two_branch_query().execute(filled_experiment,
+                                           keep_temp_tables=True)
+        with use_tracer(Tracer()):
+            traced = two_branch_query().execute(filled_experiment,
+                                                keep_temp_tables=True)
+        assert vector_rows(plain) == vector_rows(traced)
+
+    def test_repeated_traced_runs_stay_identical(
+            self, filled_experiment):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            first = two_branch_query().execute(filled_experiment)
+            second = two_branch_query().execute(filled_experiment)
+        assert artifact_map(first) == artifact_map(second)
+        # two runs, same span shape
+        names = [(s.name, s.kind) for s in tracer.element_spans()]
+        half = len(names) // 2
+        assert sorted(names[:half]) == sorted(names[half:])
+
+
+class TestParallelDifferential:
+    @pytest.mark.parametrize("n_nodes", [1, 3])
+    def test_parallel_artifacts_unchanged_by_tracing(
+            self, filled_experiment, n_nodes):
+        cluster = SimulatedCluster(n_nodes)
+        plain, _ = ParallelQueryExecutor(cluster).execute(
+            two_branch_query(), filled_experiment)
+        with use_tracer(Tracer()):
+            traced, _ = ParallelQueryExecutor(cluster).execute(
+                two_branch_query(), filled_experiment)
+        cluster.shutdown()
+        assert artifact_map(plain) == artifact_map(traced)
+
+    def test_parallel_matches_serial_under_tracing(
+            self, filled_experiment):
+        with use_tracer(Tracer()):
+            serial = two_branch_query().execute(filled_experiment)
+        cluster = SimulatedCluster(4)
+        with use_tracer(Tracer()):
+            parallel, _ = ParallelQueryExecutor(cluster).execute(
+                two_branch_query(), filled_experiment)
+        cluster.shutdown()
+        assert artifact_map(serial) == artifact_map(parallel)
+
+
+class TestElementSpanSetEquivalence:
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4])
+    def test_serial_and_parallel_same_element_spans(
+            self, filled_experiment, n_nodes):
+        serial_tracer = Tracer()
+        with use_tracer(serial_tracer):
+            two_branch_query().execute(filled_experiment)
+
+        parallel_tracer = Tracer()
+        cluster = SimulatedCluster(n_nodes)
+        with use_tracer(parallel_tracer):
+            ParallelQueryExecutor(cluster).execute(
+                two_branch_query(), filled_experiment)
+        cluster.shutdown()
+
+        def element_set(tracer):
+            return sorted((s.name, s.kind, s.rows)
+                          for s in tracer.element_spans())
+
+        assert element_set(serial_tracer) == \
+            element_set(parallel_tracer)
+
+    def test_combiner_kind_appears_in_span_set(
+            self, filled_experiment):
+        q = Query([
+            Source("so", parameters=[
+                ParameterSpec("technique", "old", show=False),
+                ParameterSpec("S_chunk")], results=["bw"]),
+            Source("sn", parameters=[
+                ParameterSpec("technique", "new", show=False),
+                ParameterSpec("S_chunk")], results=["bw"]),
+            Combiner("c", ["so", "sn"]),
+            Output("o", ["c"], format="csv"),
+        ], name="combined")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            q.execute(filled_experiment)
+        kinds = {s.kind for s in tracer.element_spans()}
+        assert kinds == {"source", "combiner", "output"}

@@ -1,0 +1,224 @@
+"""Tracer unit tests: span production, nesting, context-local
+activation and cross-thread parenting."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+
+import pytest
+
+from repro.obs import (InMemorySink, Span, Tracer, current_span,
+                       current_tracer, maybe_span, use_tracer)
+
+pytestmark = pytest.mark.obs
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert current_tracer() is None
+        assert current_span() is None
+
+    def test_use_tracer_scopes_activation(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_use_tracer_restores_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with use_tracer(tracer):
+                raise RuntimeError("boom")
+        assert current_tracer() is None
+
+    def test_use_tracer_none_disables_inside(self):
+        outer = Tracer()
+        with use_tracer(outer):
+            with use_tracer(None):
+                assert current_tracer() is None
+            assert current_tracer() is outer
+
+    def test_nested_tracers_do_not_mix(self):
+        outer, inner = Tracer(), Tracer()
+        with use_tracer(outer):
+            with outer.span("a"):
+                with use_tracer(inner):
+                    with inner.span("b"):
+                        pass
+        assert [s.name for s in outer.spans] == ["a"]
+        assert [s.name for s in inner.spans] == ["b"]
+
+    def test_maybe_span_is_noop_when_disabled(self):
+        cm = maybe_span("x", kind="db")
+        assert isinstance(cm, nullcontext)
+        with cm as span:
+            assert span is None
+
+    def test_maybe_span_records_when_enabled(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with maybe_span("x", kind="db", rows=3) as span:
+                assert span is not None
+        assert tracer.spans[0].kind == "db"
+        assert tracer.spans[0].rows == 3
+
+
+class TestSpanProduction:
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("mid") as mid:
+                with tracer.span("leaf") as leaf:
+                    pass
+        assert outer.parent_id is None
+        assert mid.parent_id == outer.span_id
+        assert leaf.parent_id == mid.span_id
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == b.parent_id == root.span_id
+
+    def test_ids_unique_and_increasing(self):
+        tracer = Tracer()
+        for name in "abc":
+            with tracer.span(name):
+                pass
+        ids = [s.span_id for s in tracer.spans]
+        assert ids == sorted(ids) and len(set(ids)) == 3
+
+    def test_clock_monotonicity(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        for span in (outer, inner):
+            assert span.finished
+            assert span.end >= span.start
+            assert span.cpu_end >= span.cpu_start
+            assert span.wall_seconds >= 0
+            assert span.cpu_seconds >= 0
+        # child interval nests within the parent's
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_emission_order_is_finish_order(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_span_emitted_even_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        assert [s.name for s in tracer.spans] == ["failing"]
+        assert tracer.spans[0].finished
+        assert tracer.open_spans == 0
+
+    def test_open_span_count(self):
+        tracer = Tracer()
+        assert tracer.open_spans == 0
+        with tracer.span("a"):
+            with tracer.span("b"):
+                assert tracer.open_spans == 2
+        assert tracer.open_spans == 0
+
+    def test_current_span_tracks_innermost(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span("a") as a:
+                assert current_span() is a
+                with tracer.span("b") as b:
+                    assert current_span() is b
+                assert current_span() is a
+            assert current_span() is None
+
+    def test_attribute_helpers(self):
+        tracer = Tracer()
+        with tracer.span("a", rows=2) as span:
+            span.add("rows", 3)
+            span.add("bytes", 100)
+        assert span.rows == 5
+        assert span.bytes == 100
+
+    def test_element_spans_filter(self):
+        tracer = Tracer()
+        with tracer.span("q", kind="query"):
+            with tracer.span("s", kind="source"):
+                pass
+            with tracer.span("stmt", kind="db"):
+                pass
+            with tracer.span("o", kind="output"):
+                pass
+        assert [(s.name, s.kind) for s in tracer.element_spans()] == \
+            [("s", "source"), ("o", "output")]
+
+    def test_fans_out_to_all_sinks(self):
+        a, b = InMemorySink(), InMemorySink()
+        tracer = Tracer(a, b)
+        with tracer.span("x"):
+            pass
+        assert len(a) == len(b) == 1
+        assert tracer.memory is a
+
+
+class TestThreading:
+    def test_worker_threads_need_reactivation(self):
+        tracer = Tracer()
+        seen = []
+        with use_tracer(tracer):
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                pool.submit(lambda: seen.append(current_tracer())) \
+                    .result()
+        # fresh thread = fresh context: tracing is off there
+        assert seen == [None]
+
+    def test_explicit_parent_links_across_threads(self):
+        tracer = Tracer()
+
+        def worker(parent: Span, name: str) -> None:
+            with use_tracer(tracer, parent=parent):
+                with tracer.span(name, kind="node"):
+                    pass
+
+        with use_tracer(tracer):
+            with tracer.span("root", kind="parallel") as root:
+                with ThreadPoolExecutor(max_workers=4) as pool:
+                    futures = [pool.submit(worker, root, f"w{i}")
+                               for i in range(8)]
+                    for future in futures:
+                        future.result()
+        workers = [s for s in tracer.spans if s.kind == "node"]
+        assert len(workers) == 8
+        assert all(s.parent_id == root.span_id for s in workers)
+        ids = [s.span_id for s in tracer.spans]
+        assert len(set(ids)) == len(ids)  # atomic across threads
+
+    def test_concurrent_span_production_is_safe(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(8)
+
+        def hammer(i: int) -> None:
+            barrier.wait()
+            with use_tracer(tracer):
+                for j in range(50):
+                    with tracer.span(f"t{i}_{j}"):
+                        pass
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.spans) == 8 * 50
+        ids = [s.span_id for s in tracer.spans]
+        assert len(set(ids)) == len(ids)
+        assert tracer.open_spans == 0

@@ -1,0 +1,125 @@
+"""Property-based tests for the observability subsystem.
+
+Two invariants, checked over randomly generated queries:
+
+* tracing is pure observation — every artifact byte and every vector
+  row of a query run is identical with tracing enabled and disabled;
+* span intervals strictly nest — every span's interval lies within its
+  parent's, and clocks are monotone.
+
+Hypothesis drives the query shape (which parameters, aggregation,
+scaling); the experiment is built once per process since function-
+scoped fixtures don't mix with shrinking.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import MemoryServer
+from repro.obs import Tracer, use_tracer
+from repro.query import (Operator, Output, ParameterSpec, Query, Source)
+
+from tests.conftest import fill_simple, make_simple_experiment
+
+pytestmark = pytest.mark.obs
+
+_EXPERIMENT = None
+
+
+def experiment():
+    global _EXPERIMENT
+    if _EXPERIMENT is None:
+        _EXPERIMENT = fill_simple(
+            make_simple_experiment(MemoryServer(), "obs_props"))
+    return _EXPERIMENT
+
+
+# -- query shape strategies ---------------------------------------------------
+
+aggregations = st.sampled_from(["avg", "min", "max", "sum", "count"])
+techniques = st.sampled_from(["old", "new", None])
+accesses = st.sampled_from(["write", "read", None])
+scale_factors = st.floats(min_value=0.25, max_value=4.0,
+                          allow_nan=False)
+output_formats = st.sampled_from(["ascii", "csv"])
+
+
+@st.composite
+def queries(draw):
+    technique = draw(techniques)
+    access = draw(accesses)
+    parameters = [ParameterSpec("S_chunk")]
+    if technique is not None:
+        parameters.insert(0, ParameterSpec("technique", technique,
+                                           show=False))
+    if access is not None:
+        parameters.append(ParameterSpec("access", access, show=False))
+    elements = [Source("s", parameters=parameters, results=["bw"]),
+                Operator("agg", draw(aggregations), ["s"])]
+    last = "agg"
+    if draw(st.booleans()):
+        elements.append(Operator(
+            "scaled", "scale", [last],
+            factor=draw(scale_factors)))
+        last = "scaled"
+    elements.append(Output("out", [last],
+                           format=draw(output_formats)))
+    return Query(elements, name="generated")
+
+
+def run_query(query, *, tracer=None, keep=True):
+    with use_tracer(tracer):
+        return query.execute(experiment(), keep_temp_tables=keep)
+
+
+class TestTracingIsPureObservation:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(queries())
+    def test_artifacts_and_vectors_identical(self, query):
+        plain = run_query(query)
+        tracer = Tracer()
+        traced = run_query(query, tracer=tracer)
+        assert {a.name: a.content for a in plain.artifacts} == \
+            {a.name: a.content for a in traced.artifacts}
+        assert {name: sorted(map(tuple, vec.rows()))
+                for name, vec in plain.vectors.items()} == \
+            {name: sorted(map(tuple, vec.rows()))
+             for name, vec in traced.vectors.items()}
+        # the trace really covered the run
+        names = {s.name for s in tracer.element_spans()}
+        assert {"s", "agg", "out"} <= names
+
+
+class TestSpanIntervalsNest:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(queries())
+    def test_child_intervals_inside_parents(self, query):
+        tracer = Tracer()
+        run_query(query, tracer=tracer, keep=False)
+        spans = tracer.spans
+        by_id = {s.span_id: s for s in spans}
+        assert len(by_id) == len(spans)  # unique ids
+        for span in spans:
+            assert span.finished
+            assert span.end >= span.start
+            assert span.cpu_end >= span.cpu_start
+            if span.parent_id is not None:
+                parent = by_id[span.parent_id]
+                assert parent.contains(span), \
+                    (parent.name, span.name)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(queries())
+    def test_siblings_do_not_overlap_in_serial_runs(self, query):
+        tracer = Tracer()
+        run_query(query, tracer=tracer, keep=False)
+        spans = sorted(tracer.spans, key=lambda s: s.start)
+        by_parent = {}
+        for span in spans:
+            by_parent.setdefault(span.parent_id, []).append(span)
+        for siblings in by_parent.values():
+            for earlier, later in zip(siblings, siblings[1:]):
+                assert earlier.end <= later.start

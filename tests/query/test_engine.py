@@ -65,6 +65,23 @@ class TestExecution:
         assert 0 < prof.source_fraction() < 1
         assert "source fraction" in prof.report()
 
+    def test_profile_is_typed_queryprofile_or_none(
+            self, filled_experiment):
+        # regression: `profile` used to be a stringly-typed object slot
+        from repro.obs import QueryProfile
+        with_profile = fig_query().execute(filled_experiment,
+                                           profile=True)
+        assert isinstance(with_profile.profile, QueryProfile)
+        without = fig_query().execute(filled_experiment)
+        assert without.profile is None
+
+    def test_profile_import_path_compat(self):
+        # the historical import location still resolves to the class
+        from repro.obs import QueryProfile as obs_profile
+        from repro.parallel.profiling import \
+            QueryProfile as legacy_profile
+        assert legacy_profile is obs_profile
+
     def test_write_all(self, filled_experiment, tmp_path):
         result = fig_query().execute(filled_experiment)
         paths = result.write_all(str(tmp_path))
