@@ -1,0 +1,121 @@
+"""Trace-analytics bench: EXPLAIN/ANALYZE rendering, timeline
+rendering and trace diffing over a real fig8 execution trace.
+
+Besides the pytest-benchmark timings this module emits the
+``benchmarks/BENCH_pr2.json`` trajectory point consumed by the
+``obs-analytics`` step of ``scripts/check.sh`` — headline numbers are
+measured with ``time.perf_counter`` so the smoke run works under
+``--benchmark-disable`` too.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.obs import (InMemorySink, JsonLinesSink, QueryProfile, Span,
+                       Tracer, diff_traces, explain, read_trace,
+                       timeline, use_tracer)
+from repro.workloads.beffio_assets import fig8_query_xml
+from repro.xmlio import parse_query_xml
+from _helpers import report
+
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_pr2.json"
+
+
+@pytest.fixture(scope="module")
+def fig8_query():
+    return parse_query_xml(fig8_query_xml())
+
+
+@pytest.fixture(scope="module")
+def fig8_trace(beffio_experiment, fig8_query, tmp_path_factory):
+    """One traced serial fig8 run, persisted as JSON-lines."""
+    path = tmp_path_factory.mktemp("obs") / "fig8.jsonl"
+    tracer = Tracer(InMemorySink(), JsonLinesSink(path))
+    with use_tracer(tracer):
+        fig8_query.execute(beffio_experiment)
+    tracer.close()
+    return read_trace(path)
+
+
+@pytest.fixture(scope="module")
+def slowed_trace(fig8_trace, tmp_path_factory):
+    """The same trace with every source span slowed 3x — the injected
+    regression the diff must flag."""
+    path = tmp_path_factory.mktemp("obs") / "fig8_slow.jsonl"
+    with JsonLinesSink(path) as sink:
+        for span in fig8_trace.spans:
+            record = span.to_dict()
+            if span.kind == "source" and span.finished:
+                record["end"] = span.start + 3.0 * span.wall_seconds
+            sink.emit(Span.from_dict(record))
+    return read_trace(path)
+
+
+class TestExplain:
+    def test_plain(self, benchmark, fig8_query):
+        plan = benchmark(lambda: explain(fig8_query))
+        assert plan == explain(fig8_query)  # deterministic
+        benchmark.extra_info["plan_lines"] = plan.count("\n")
+
+    def test_analyze(self, benchmark, fig8_query, fig8_trace):
+        plan = benchmark(lambda: explain(fig8_query, fig8_trace))
+        assert "wall=" in plan
+        benchmark.extra_info["spans"] = len(fig8_trace.spans)
+
+
+class TestTimeline:
+    def test_render(self, benchmark, fig8_trace):
+        text = benchmark(lambda: timeline(fig8_trace.spans, width=60))
+        assert "trace timeline" in text
+
+
+class TestTraceDiff:
+    def test_flags_injected_slowdown(self, benchmark, fig8_trace,
+                                     slowed_trace):
+        diff = benchmark(lambda: diff_traces(fig8_trace, slowed_trace))
+        assert diff.has_regressions
+        regressed = diff.regressions()
+        assert all(d.kind == "source" for d in regressed)
+        benchmark.extra_info["regressions"] = len(regressed)
+
+
+class TestTrajectoryPoint:
+    def test_write_bench_json(self, fig8_query, fig8_trace,
+                              slowed_trace):
+        """The PR-2 trajectory point: one JSON file of headline
+        numbers, plus the rendered diff as an artefact."""
+        def timed(fn, repeat=5):
+            best = min(timeit(fn) for _ in range(repeat))
+            return best * 1e3  # ms
+
+        def timeit(fn):
+            t0 = time.perf_counter()
+            fn()
+            return time.perf_counter() - t0
+
+        diff = diff_traces(fig8_trace, slowed_trace)
+        profile = QueryProfile.from_spans(fig8_trace.spans)
+        point = {
+            "pr": 2,
+            "bench": "obs_analytics",
+            "spans": len(fig8_trace.spans),
+            "explain_ms": timed(lambda: explain(fig8_query)),
+            "explain_analyze_ms": timed(
+                lambda: explain(fig8_query, fig8_trace)),
+            "timeline_ms": timed(
+                lambda: timeline(fig8_trace.spans, width=60)),
+            "diff_ms": timed(
+                lambda: diff_traces(fig8_trace, slowed_trace)),
+            "source_fraction": profile.source_fraction(),
+            "regressions_flagged": len(diff.regressions()),
+        }
+        BENCH_JSON.write_text(json.dumps(point, indent=2) + "\n")
+        report("obs_analytics_diff",
+               diff.report(title="bench: fig8 vs 3x-slowed sources"))
+        assert point["regressions_flagged"] > 0
+        assert 0.0 < point["source_fraction"] < 1.0

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The perfbase meta-experiment: perfbase measuring perfbase.
+
+Records a JSON-lines execution trace of the paper's Fig. 7/8 query,
+then treats that trace as benchmark output in its own right:
+
+1. ``perfbase explain`` style: the query's element DAG as an ASCII
+   plan, then the same plan annotated with the measured numbers
+   (EXPLAIN vs EXPLAIN ANALYZE);
+2. the span timeline of the run;
+3. a serial vs parallel trace diff with regression flags;
+4. the trace imported into a real perfbase experiment via the shipped
+   ``json_location`` input description, and the Section 4.3 source
+   fraction recomputed by a declarative perfbase query.
+
+Run with:  python examples/meta_experiment.py
+"""
+
+import os
+import tempfile
+
+from repro import Experiment, MemoryServer
+from repro.obs import (InMemorySink, JsonLinesSink, QueryProfile, Tracer,
+                       diff_traces, explain, read_trace, timeline,
+                       use_tracer)
+from repro.parallel import ParallelQueryExecutor, SimulatedCluster
+from repro.parse.importer import Importer
+from repro.workloads import beffio_assets, obsmeta
+from repro.workloads.beffio import generate_campaign
+from repro.xmlio import (parse_experiment_xml, parse_input_xml,
+                         parse_query_xml)
+
+workdir = tempfile.mkdtemp(prefix="perfbase_meta_")
+server = MemoryServer()
+
+# --- the workload: the paper's b_eff_io experiment ------------------------
+definition = parse_experiment_xml(beffio_assets.experiment_xml())
+beffio = Experiment.create(server, definition.name,
+                           list(definition.variables), definition.info)
+importer = Importer(beffio, parse_input_xml(beffio_assets.input_xml()))
+for fname, content in generate_campaign(repetitions=3):
+    importer.import_text(content, fname)
+query = parse_query_xml(beffio_assets.fig8_query_xml())
+
+# --- EXPLAIN: the plan before running anything ----------------------------
+print(explain(query))
+
+# --- trace a serial and a parallel run ------------------------------------
+def traced_run(label, parallel=0):
+    path = os.path.join(workdir, f"{label}.jsonl")
+    tracer = Tracer(InMemorySink(), JsonLinesSink(path))
+    with use_tracer(tracer):
+        if parallel:
+            cluster = SimulatedCluster(parallel)
+            ParallelQueryExecutor(cluster).execute(query, beffio)
+            cluster.shutdown()
+        else:
+            query.execute(beffio)
+    tracer.close()
+    return path
+
+serial = traced_run("fig8_serial")
+parallel = traced_run("fig8_parallel", parallel=2)
+
+# --- EXPLAIN ANALYZE: the same plan with measured numbers -----------------
+print(explain(query, read_trace(parallel)))
+
+# --- the timeline of the serial run ---------------------------------------
+print(timeline(read_trace(serial).spans, title="fig8 serial run"))
+
+# --- serial vs parallel, span set by span set -----------------------------
+diff = diff_traces(read_trace(serial), read_trace(parallel),
+                   threshold=0.25)
+print(diff.report(title="serial -> parallel (2 nodes)"))
+
+# --- the meta-experiment: import the trace, query the trace ---------------
+meta_def = parse_experiment_xml(obsmeta.experiment_xml())
+meta = Experiment.create(server, meta_def.name,
+                         list(meta_def.variables), meta_def.info)
+meta_importer = Importer(meta, parse_input_xml(obsmeta.input_xml()))
+report = meta_importer.import_file(serial)
+print(f"imported {report.n_imported} trace run(s) into "
+      f"{obsmeta.EXPERIMENT_NAME!r}")
+
+fraction_query = parse_query_xml(obsmeta.source_fraction_query_xml())
+result = fraction_query.execute(meta, keep_temp_tables=True)
+print(result.artifacts[0].content)
+
+hotspots = parse_query_xml(obsmeta.hotspot_query_xml())
+print(hotspots.execute(meta).artifacts[0].content)
+
+fraction = result.vectors["fraction"].rows()[0][-1]
+profile = QueryProfile.from_spans(read_trace(serial).spans)
+print(f"source fraction via perfbase query : {fraction:.4f}")
+print(f"source fraction via QueryProfile   : "
+      f"{profile.source_fraction():.4f}")

@@ -15,3 +15,11 @@ python -m pytest -x -q -p no:randomly tests
 
 echo "== observability battery (pytest -m obs) =="
 python -m pytest -q -p no:randomly -m obs tests
+
+echo "== obs-analytics: explain / diff / meta-experiment markers =="
+python -m pytest -q -p no:randomly -m obs_analytics tests
+
+echo "== obs-analytics: bench smoke (writes benchmarks/BENCH_pr2.json) =="
+python -m pytest -q -p no:randomly --benchmark-disable \
+    benchmarks/bench_obs_analytics.py
+test -s benchmarks/BENCH_pr2.json

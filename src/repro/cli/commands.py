@@ -32,10 +32,12 @@ def cmd_setup(args: argparse.Namespace) -> int:
     """Create a new experiment from a definition XML file."""
     definition = parse_experiment_xml(args.definition)
     server = open_server(args)
-    exp = Experiment.create(server, definition.name,
-                            list(definition.variables), definition.info)
-    for user, klass in definition.grants:
-        exp.grant(user, klass)
+    with obs_session(args):
+        exp = Experiment.create(server, definition.name,
+                                list(definition.variables),
+                                definition.info)
+        for user, klass in definition.grants:
+            exp.grant(user, klass)
     echo(f"created experiment {definition.name!r} with "
          f"{len(definition.variables)} variables in {args.dbdir}")
     exp.close()
@@ -47,6 +49,7 @@ def _register_setup(sub) -> None:
         "setup", help="create an experiment from a definition XML")
     p.add_argument("-d", "--definition", required=True,
                    help="experiment definition XML file")
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_setup)
 
@@ -144,7 +147,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     from ..parallel import speedup_curve
     exp = open_experiment(args)
     query = parse_query_xml(args.query)
-    result = query.execute(exp, profile=True)
+    with obs_session(args):
+        result = query.execute(exp, profile=True)
     node_counts = [int(n) for n in (args.nodes or "1 2 4 8").split()]
     echo(f"query {query.name!r}: {len(query.elements)} elements, "
          f"DAG width {query.graph.width()}")
@@ -183,6 +187,7 @@ def _register_query(sub) -> None:
     p.add_argument("--nodes", metavar="'1 2 4 8'",
                    help="node counts to simulate "
                         "(space-separated, default '1 2 4 8')")
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_simulate)
 
@@ -230,7 +235,8 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     """Render the full experiment status report."""
     exp = open_experiment(args)
-    echo(experiment_report(exp))
+    with obs_session(args):
+        echo(experiment_report(exp))
     exp.close()
     return 0
 
@@ -245,7 +251,9 @@ def cmd_runs(args: argparse.Namespace) -> int:
         name, _, value = cond.partition("=")
         where[name.strip()] = exp.variables[name.strip()].coerce(
             value.strip())
-    for record in list_runs(exp, where=where or None):
+    with obs_session(args):
+        records = list_runs(exp, where=where or None)
+    for record in records:
         files = ",".join(os.path.basename(f)
                          for f in record.source_files) or "-"
         echo(f"run {record.index:>4}  {record.created}  "
@@ -257,7 +265,8 @@ def cmd_runs(args: argparse.Namespace) -> int:
 def cmd_show(args: argparse.Namespace) -> int:
     """Show the full content of one run."""
     exp = open_experiment(args)
-    echo(show_run(exp, args.run))
+    with obs_session(args):
+        echo(show_run(exp, args.run))
     exp.close()
     return 0
 
@@ -265,7 +274,8 @@ def cmd_show(args: argparse.Namespace) -> int:
 def cmd_values(args: argparse.Namespace) -> int:
     """Show the content of one variable across runs."""
     exp = open_experiment(args)
-    values = show_variable(exp, args.name, distinct=args.distinct)
+    with obs_session(args):
+        values = show_variable(exp, args.name, distinct=args.distinct)
     for value in values:
         echo(str(value))
     exp.close()
@@ -285,6 +295,7 @@ def _register_status(sub) -> None:
     p = sub.add_parser("report",
                        help="full experiment status report")
     add_experiment_argument(p)
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_report)
 
@@ -292,6 +303,7 @@ def _register_status(sub) -> None:
     add_experiment_argument(p)
     p.add_argument("--where", action="append", metavar="NAME=VALUE",
                    help="filter by once-content (repeatable)")
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_runs)
 
@@ -299,6 +311,7 @@ def _register_status(sub) -> None:
     add_experiment_argument(p)
     p.add_argument("-r", "--run", type=int, required=True,
                    help="run index")
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_show)
 
@@ -308,6 +321,7 @@ def _register_status(sub) -> None:
     p.add_argument("-n", "--name", required=True, help="variable name")
     p.add_argument("--distinct", action="store_true",
                    help="unique values only")
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_values)
 
@@ -318,17 +332,18 @@ def _register_status(sub) -> None:
 def cmd_update(args: argparse.Namespace) -> int:
     """Evolve an experiment: add/remove variables from a definition."""
     exp = open_experiment(args)
-    if args.add:
-        definition = parse_experiment_xml(args.add)
-        added = 0
-        for var in definition.variables:
-            if var.name not in exp.variables:
-                exp.add_variable(var)
-                added += 1
-        echo(f"added {added} variable(s)")
-    for name in args.remove or []:
-        exp.remove_variable(name)
-        echo(f"removed variable {name!r}")
+    with obs_session(args):
+        if args.add:
+            definition = parse_experiment_xml(args.add)
+            added = 0
+            for var in definition.variables:
+                if var.name not in exp.variables:
+                    exp.add_variable(var)
+                    added += 1
+            echo(f"added {added} variable(s)")
+        for name in args.remove or []:
+            exp.remove_variable(name)
+            echo(f"removed variable {name!r}")
     exp.close()
     return 0
 
@@ -337,7 +352,8 @@ def cmd_delete(args: argparse.Namespace) -> int:
     """Delete a run or the whole experiment."""
     if args.run is not None:
         exp = open_experiment(args)
-        exp.delete_run(args.run)
+        with obs_session(args):
+            exp.delete_run(args.run)
         echo(f"deleted run {args.run}")
         exp.close()
     else:
@@ -345,7 +361,8 @@ def cmd_delete(args: argparse.Namespace) -> int:
             raise CommandError(
                 "deleting a whole experiment needs --yes")
         server = open_server(args)
-        Experiment.drop(server, args.experiment)
+        with obs_session(args):
+            Experiment.drop(server, args.experiment)
         echo(f"deleted experiment {args.experiment!r}")
     return 0
 
@@ -373,6 +390,7 @@ def _register_admin(sub) -> None:
                    help="definition XML whose new variables are added")
     p.add_argument("--remove", action="append", metavar="NAME",
                    help="variable to remove (repeatable)")
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_update)
 
@@ -381,6 +399,7 @@ def _register_admin(sub) -> None:
     p.add_argument("-r", "--run", type=int, help="run index to delete")
     p.add_argument("--yes", action="store_true",
                    help="confirm deleting the whole experiment")
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_delete)
 
@@ -401,15 +420,16 @@ def cmd_check(args: argparse.Namespace) -> int:
     exp = open_experiment(args)
     group = args.group or []
     found = False
-    if args.kind in ("outliers", "all"):
-        for s in suspicious_datasets(exp, args.result, group,
-                                     threshold=args.threshold):
-            echo(f"suspicious: {s}")
-            found = True
-    if args.kind in ("regressions", "all"):
-        for r in run_regressions(exp, args.result, group):
-            echo(f"regression: {r}")
-            found = True
+    with obs_session(args):
+        if args.kind in ("outliers", "all"):
+            for s in suspicious_datasets(exp, args.result, group,
+                                         threshold=args.threshold):
+                echo(f"suspicious: {s}")
+                found = True
+        if args.kind in ("regressions", "all"):
+            for r in run_regressions(exp, args.result, group):
+                echo(f"regression: {r}")
+                found = True
     if not found:
         echo("nothing suspicious found")
     exp.close()
@@ -425,8 +445,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             raise CommandError(f"grid needs name=v1,v2,..., got {spec!r}")
         name, _, values = spec.partition("=")
         grid[name.strip()] = [v.strip() for v in values.split(",")]
-    holes = missing_sweep_points(exp, grid,
-                                 repetitions=args.repetitions)
+    with obs_session(args):
+        holes = missing_sweep_points(exp, grid,
+                                     repetitions=args.repetitions)
     if not holes:
         echo("sweep is complete")
     for hole in holes:
@@ -446,6 +467,7 @@ def _register_check(sub) -> None:
     p.add_argument("--kind", choices=("outliers", "regressions", "all"),
                    default="all")
     p.add_argument("--threshold", type=float, default=3.5)
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_check)
 
@@ -455,6 +477,7 @@ def _register_check(sub) -> None:
     p.add_argument("grid", nargs="+", metavar="NAME=V1,V2,...",
                    help="intended value grid per once-parameter")
     p.add_argument("--repetitions", type=int, default=1)
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -470,17 +493,18 @@ def cmd_dump(args: argparse.Namespace) -> int:
                                         exp.variables),
         "runs": [],
     }
-    for index in exp.run_indices():
-        run = exp.load_run(index)
-        record = exp.run_record(index)
-        payload["runs"].append({
-            "index": index,
-            "created": record.created.isoformat(),
-            "source_files": list(record.source_files),
-            "once": {k: _jsonable(v) for k, v in run.once.items()},
-            "datasets": [{k: _jsonable(v) for k, v in ds.items()}
-                         for ds in run.datasets],
-        })
+    with obs_session(args):
+        for index in exp.run_indices():
+            run = exp.load_run(index)
+            record = exp.run_record(index)
+            payload["runs"].append({
+                "index": index,
+                "created": record.created.isoformat(),
+                "source_files": list(record.source_files),
+                "once": {k: _jsonable(v) for k, v in run.once.items()},
+                "datasets": [{k: _jsonable(v) for k, v in ds.items()}
+                             for ds in run.datasets],
+            })
     text = json.dumps(payload, indent=1)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
@@ -506,15 +530,16 @@ def cmd_restore(args: argparse.Namespace) -> int:
     definition = parse_experiment_xml(payload["definition"])
     name = args.experiment or definition.name
     server = open_server(args)
-    exp = Experiment.create(server, name,
-                            list(definition.variables),
-                            definition.info)
-    from ..core.run import RunData
-    for dumped in payload.get("runs", []):
-        run = RunData(once=dumped.get("once", {}),
-                      datasets=dumped.get("datasets", []),
-                      source_files=dumped.get("source_files", []))
-        exp.store_run(run)
+    with obs_session(args):
+        exp = Experiment.create(server, name,
+                                list(definition.variables),
+                                definition.info)
+        from ..core.run import RunData
+        for dumped in payload.get("runs", []):
+            run = RunData(once=dumped.get("once", {}),
+                          datasets=dumped.get("datasets", []),
+                          source_files=dumped.get("source_files", []))
+            exp.store_run(run)
     echo(f"restored experiment {name!r} with "
          f"{len(payload.get('runs', []))} run(s)")
     exp.close()
@@ -524,7 +549,8 @@ def cmd_restore(args: argparse.Namespace) -> int:
 def cmd_export(args: argparse.Namespace) -> int:
     """Write an experiment's definition back as XML (Fig. 5 format)."""
     exp = open_experiment(args)
-    xml = experiment_to_xml(exp.name, exp.info, exp.variables)
+    with obs_session(args):
+        xml = experiment_to_xml(exp.name, exp.info, exp.variables)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(xml)
@@ -555,8 +581,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
         matches = glob.glob(pattern)
         paths.extend(matches if matches else [pattern])
     total = ImporterReportAccumulator()
-    for path in paths:
-        total.merge(importer.import_file(path))
+    with obs_session(args):
+        for path in paths:
+            total.merge(importer.import_file(path))
     echo(f"imported {total.n_imported} trace run(s) from "
          f"{len(paths)} file(s)")
     if total.duplicates:
@@ -581,6 +608,7 @@ def _register_dump(sub) -> None:
     p = sub.add_parser("dump", help="export an experiment as JSON")
     add_experiment_argument(p)
     p.add_argument("-o", "--output", help="output file (default stdout)")
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_dump)
 
@@ -590,6 +618,7 @@ def _register_dump(sub) -> None:
                    help="dump file written by `perfbase dump`")
     p.add_argument("-e", "--experiment",
                    help="override the experiment name")
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_restore)
 
@@ -597,6 +626,7 @@ def _register_dump(sub) -> None:
                        help="write the experiment definition XML")
     add_experiment_argument(p)
     p.add_argument("-o", "--output", help="output file (default stdout)")
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_export)
 
@@ -615,8 +645,108 @@ def _register_dump(sub) -> None:
     p.add_argument("--missing",
                    choices=[m.value for m in MissingPolicy],
                    default="default")
+    add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_trace)
+
+
+# -- trace analytics: explain / trace-diff / trace-view -----------------------
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Render a query's element DAG as an ASCII plan (EXPLAIN), with
+    per-element measured numbers when a recorded trace is given
+    (EXPLAIN ANALYZE, Section 4.3)."""
+    from ..obs import explain, read_trace
+    query = parse_query_xml(args.query)
+    trace = None
+    if args.trace:
+        trace = read_trace(args.trace,
+                           on_error="skip" if args.lax else "raise")
+        for problem in trace.errors:
+            echo(f"warning: skipped {problem}")
+    echo(explain(query, trace), end="")
+    return 0
+
+
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    """Compare two recorded traces and flag wall-time regressions."""
+    from ..obs import ELEMENT_KINDS, diff_traces, read_trace
+    base = read_trace(args.base)
+    new = read_trace(args.new)
+    diff = diff_traces(base, new, threshold=args.threshold,
+                       min_seconds=args.min_ms / 1e3,
+                       kinds=None if args.all_kinds
+                       else ELEMENT_KINDS)
+    echo(diff.report(title=f"trace diff: {args.base} -> {args.new}"),
+         end="")
+    if args.fail_on_regression and diff.has_regressions:
+        return 3
+    return 0
+
+
+def cmd_trace_view(args: argparse.Namespace) -> int:
+    """Render a recorded trace as an ASCII span timeline."""
+    from ..obs import read_trace, timeline
+    from ..obs.render import DEFAULT_HIDDEN
+    trace = read_trace(args.file,
+                       on_error="skip" if args.lax else "raise")
+    for problem in trace.errors:
+        echo(f"warning: skipped {problem}")
+    echo(timeline(trace.spans, width=args.width,
+                  hide_kinds=() if args.all_kinds else DEFAULT_HIDDEN,
+                  max_rows=args.max_rows,
+                  title=f"trace timeline: {args.file}"), end="")
+    return 0
+
+
+def _register_obs(sub) -> None:
+    p = sub.add_parser(
+        "explain",
+        help="show a query's element DAG as an ASCII plan "
+             "(EXPLAIN; with --trace: EXPLAIN ANALYZE)")
+    p.add_argument("-q", "--query", required=True,
+                   help="query specification XML file")
+    p.add_argument("--trace", metavar="FILE",
+                   help="JSON-lines trace to annotate the plan with")
+    p.add_argument("--lax", action="store_true",
+                   help="skip malformed trace lines instead of failing")
+    add_dbdir_argument(p)
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "trace-diff",
+        help="compare two recorded traces and flag regressions")
+    p.add_argument("base", help="baseline JSON-lines trace")
+    p.add_argument("new", help="new JSON-lines trace to compare")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="relative wall-time growth flagged as a "
+                        "regression (default 0.25 = +25%%)")
+    p.add_argument("--min-ms", type=float, default=0.0,
+                   help="absolute growth floor in milliseconds")
+    p.add_argument("--all-kinds", action="store_true",
+                   help="compare every span kind, not just query "
+                        "elements")
+    p.add_argument("--fail-on-regression", action="store_true",
+                   help="exit with status 3 if any regression is found")
+    add_dbdir_argument(p)
+    p.set_defaults(func=cmd_trace_diff)
+
+    p = sub.add_parser(
+        "trace-view",
+        help="render a recorded trace as an ASCII span timeline")
+    p.add_argument("file", help="JSON-lines trace file")
+    p.add_argument("--width", type=int, default=60,
+                   help="bar area width in characters")
+    p.add_argument("--max-rows", type=int, default=200,
+                   help="maximum rows before eliding")
+    p.add_argument("--all-kinds", action="store_true",
+                   help="show hidden span kinds (per-statement db "
+                        "spans)")
+    p.add_argument("--lax", action="store_true",
+                   help="skip malformed trace lines instead of failing")
+    add_dbdir_argument(p)
+    p.set_defaults(func=cmd_trace_view)
 
 
 def register_all(sub) -> None:
@@ -628,3 +758,4 @@ def register_all(sub) -> None:
     _register_admin(sub)
     _register_check(sub)
     _register_dump(sub)
+    _register_obs(sub)

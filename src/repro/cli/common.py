@@ -45,8 +45,8 @@ def open_experiment(args: argparse.Namespace) -> Experiment:
     return Experiment.open(server, args.experiment)
 
 
-def echo(message: str = "") -> None:
-    sys.stdout.write(message + "\n")
+def echo(message: str = "", end: str = "\n") -> None:
+    sys.stdout.write(message + end)
 
 
 # -- observability -----------------------------------------------------------

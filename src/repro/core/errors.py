@@ -68,6 +68,23 @@ class DuplicateImportError(InputError):
         self.run_index = run_index
 
 
+class TraceFormatError(InputError):
+    """A recorded JSON-lines trace file is malformed."""
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 line: int | None = None):
+        loc = []
+        if path is not None:
+            loc.append(path)
+        if line is not None:
+            loc.append(f"line {line}")
+        if loc:
+            message = f"{':'.join(loc)}: {message}"
+        super().__init__(message)
+        self.path = path
+        self.line = line
+
+
 class QueryError(PerfbaseError):
     """A query specification is invalid or cannot be executed."""
 

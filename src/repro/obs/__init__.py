@@ -30,8 +30,11 @@ With no active tracer the instrumented layers only pay one
 context-variable read per operation.
 """
 
+from .diff import SpanSetDelta, TraceDiff, diff_traces
+from .explain import ElementStats, collect_element_stats, explain
 from .metrics import Counter, Gauge, Histogram, Metrics
 from .profile import ElementTiming, QueryProfile
+from .render import timeline
 from .sinks import (AsciiSummarySink, InMemorySink, JsonLinesSink,
                     Sink, TraceData, metrics_table, read_trace,
                     summary_table)
@@ -40,8 +43,11 @@ from .tracer import (Tracer, current_span, current_tracer, maybe_span,
                      use_tracer)
 
 __all__ = [
+    "SpanSetDelta", "TraceDiff", "diff_traces",
+    "ElementStats", "collect_element_stats", "explain",
     "Counter", "Gauge", "Histogram", "Metrics",
     "ElementTiming", "QueryProfile",
+    "timeline",
     "AsciiSummarySink", "InMemorySink", "JsonLinesSink", "Sink",
     "TraceData", "metrics_table", "read_trace", "summary_table",
     "ELEMENT_KINDS", "Span",

@@ -1,0 +1,170 @@
+"""Trace diffing and regression detection.
+
+The paper's workflow tracks how *benchmark* results move across runs
+("track the performance changes that we achieve", Section 5, and the
+``check`` command's regression analysis).  This module applies the same
+idea to perfbase's own execution traces: two recorded traces of the
+same workload — yesterday's query run vs today's, serial vs parallel,
+before vs after an optimisation — are compared span-set by span-set.
+
+Spans are grouped by ``(kind, name)`` (the logical identity of an
+element, statement class or transfer) and each group's call count,
+summed wall time and row count are compared.  A group whose wall time
+grew beyond a configurable threshold (and a noise floor) is flagged as
+a **regression**; groups that shrank accordingly count as improvements.
+``perfbase trace-diff`` exposes this with ``--fail-on-regression`` for
+CI wiring, and the benchmark harness uses it for the PR trajectory
+point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .spans import ELEMENT_KINDS, Span
+
+__all__ = ["SpanSetDelta", "TraceDiff", "diff_traces"]
+
+
+@dataclass
+class SpanSetDelta:
+    """Per-(kind, name) comparison of two traces."""
+
+    kind: str
+    name: str
+    base_calls: int = 0
+    new_calls: int = 0
+    base_wall: float = 0.0
+    new_wall: float = 0.0
+    base_rows: int = 0
+    new_rows: int = 0
+
+    @property
+    def wall_delta(self) -> float:
+        return self.new_wall - self.base_wall
+
+    @property
+    def wall_ratio(self) -> float:
+        """new/base wall time; ``inf`` for groups new in this trace."""
+        if self.base_wall <= 0.0:
+            return float("inf") if self.new_wall > 0.0 else 1.0
+        return self.new_wall / self.base_wall
+
+    def is_regression(self, threshold: float,
+                      min_seconds: float) -> bool:
+        return (self.new_wall > self.base_wall * (1.0 + threshold)
+                and self.wall_delta >= min_seconds)
+
+    def is_improvement(self, threshold: float,
+                       min_seconds: float) -> bool:
+        return (self.base_wall > self.new_wall * (1.0 + threshold)
+                and -self.wall_delta >= min_seconds)
+
+
+@dataclass
+class TraceDiff:
+    """Result of :func:`diff_traces`."""
+
+    deltas: list[SpanSetDelta] = field(default_factory=list)
+    #: span sets present only in the base / only in the new trace
+    only_base: list[tuple[str, str]] = field(default_factory=list)
+    only_new: list[tuple[str, str]] = field(default_factory=list)
+    threshold: float = 0.25
+    min_seconds: float = 0.0
+
+    def regressions(self) -> list[SpanSetDelta]:
+        return [d for d in self.deltas
+                if d.is_regression(self.threshold, self.min_seconds)]
+
+    def improvements(self) -> list[SpanSetDelta]:
+        return [d for d in self.deltas
+                if d.is_improvement(self.threshold, self.min_seconds)]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions())
+
+    def report(self, title: str = "trace diff") -> str:
+        """Aligned per-span-set delta table, worst ratio first."""
+        lines = [f"{title}: {len(self.deltas)} span set(s), "
+                 f"threshold {self.threshold * 100:.0f}%",
+                 f"{'kind':<10} {'name':<24} {'calls':>11} "
+                 f"{'base [ms]':>11} {'new [ms]':>11} "
+                 f"{'delta':>8}  flag"]
+        ordered = sorted(
+            self.deltas,
+            key=lambda d: (-d.wall_ratio if d.wall_ratio != float("inf")
+                           else float("-inf"), d.kind, d.name))
+        for d in ordered:
+            if d.base_wall > 0.0:
+                delta = f"{100 * (d.wall_ratio - 1.0):+7.1f}%"
+            else:
+                delta = "    new"
+            flag = ""
+            if d.is_regression(self.threshold, self.min_seconds):
+                flag = "REGRESSION"
+            elif d.is_improvement(self.threshold, self.min_seconds):
+                flag = "improved"
+            lines.append(
+                f"{d.kind:<10} {d.name:<24} "
+                f"{d.base_calls:>5}/{d.new_calls:<5} "
+                f"{d.base_wall * 1e3:>11.3f} {d.new_wall * 1e3:>11.3f} "
+                f"{delta:>8}  {flag}".rstrip())
+        for kind, name in self.only_base:
+            lines.append(f"only in base trace: {name} [{kind}]")
+        n_reg = len(self.regressions())
+        lines.append(f"{n_reg} regression(s), "
+                     f"{len(self.improvements())} improvement(s)")
+        return "\n".join(lines) + "\n"
+
+
+def _groups(spans: Iterable[Span],
+            kinds: frozenset[str] | None
+            ) -> dict[tuple[str, str], list[Span]]:
+    out: dict[tuple[str, str], list[Span]] = {}
+    for span in spans:
+        if kinds is not None and span.kind not in kinds:
+            continue
+        out.setdefault((span.kind, span.name), []).append(span)
+    return out
+
+
+def diff_traces(base, new, *, threshold: float = 0.25,
+                min_seconds: float = 0.0,
+                kinds: Sequence[str] | None = ELEMENT_KINDS
+                ) -> TraceDiff:
+    """Compare two traces span-set by span-set.
+
+    ``base``/``new`` may be :class:`~repro.obs.sinks.TraceData` objects
+    or plain span iterables.  ``kinds`` restricts the comparison (the
+    default compares only query-element spans — the logical execution
+    record; pass ``None`` to compare every span kind).  ``threshold``
+    is the relative wall-time growth that counts as a regression,
+    ``min_seconds`` an absolute noise floor the growth must also clear.
+    """
+    if threshold < 0.0:
+        raise ValueError("threshold must be non-negative")
+    base_spans = getattr(base, "spans", base)
+    new_spans = getattr(new, "spans", new)
+    kindset = frozenset(kinds) if kinds is not None else None
+    base_groups = _groups(base_spans, kindset)
+    new_groups = _groups(new_spans, kindset)
+
+    diff = TraceDiff(threshold=threshold, min_seconds=min_seconds)
+    for key in sorted(set(base_groups) | set(new_groups)):
+        kind, name = key
+        b = base_groups.get(key, ())
+        n = new_groups.get(key, ())
+        diff.deltas.append(SpanSetDelta(
+            kind=kind, name=name,
+            base_calls=len(b), new_calls=len(n),
+            base_wall=sum(s.wall_seconds for s in b),
+            new_wall=sum(s.wall_seconds for s in n),
+            base_rows=sum(s.rows for s in b),
+            new_rows=sum(s.rows for s in n)))
+        if not n:
+            diff.only_base.append(key)
+        elif not b:
+            diff.only_new.append(key)
+    return diff

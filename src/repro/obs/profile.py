@@ -49,21 +49,57 @@ class QueryProfile:
 
     @classmethod
     def from_spans(cls, spans: Iterable["Span"],
-                   query_name: str = "query") -> "QueryProfile":
+                   query_name: str = "query", *,
+                   query: "str | int | None" = None) -> "QueryProfile":
         """Build a profile from the element spans of a trace.
 
         Non-element spans (DB statements, transfers, roots) are
         ignored, so a full execution trace can be passed unfiltered —
         this is how the Section 4.3 benchmark derives the paper's
         source-fraction number from a recorded trace alone.
+
+        A trace may hold several query runs (two queries traced back to
+        back, or concurrently on different threads).  ``query`` then
+        selects one: a string matches the *name* of the enclosing
+        query-root span (kind ``query``/``parallel``), an integer its
+        ``span_id`` — so two runs of the same query stay separable.
+        Element spans reached through no query root (e.g. a bare
+        ``element.execute`` under a tracer) only count when no
+        ``query`` filter is given.
         """
-        from .spans import ELEMENT_KINDS
-        profile = cls(query_name=query_name)
+        from .spans import ELEMENT_KINDS, Span
+        spans = list(spans)
+        profile = cls(query_name=(query if isinstance(query, str)
+                                  else query_name))
+        by_id: dict[int, "Span"] = {s.span_id: s for s in spans}
+
+        def root_of(span: "Span") -> "Span | None":
+            """Nearest enclosing query/parallel root, if any."""
+            seen: set[int] = set()
+            current = span
+            while current.parent_id is not None \
+                    and current.parent_id in by_id \
+                    and current.parent_id not in seen:
+                seen.add(current.parent_id)
+                current = by_id[current.parent_id]
+                if current.kind in ("query", "parallel"):
+                    return current
+            return None
+
         for span in spans:
-            if span.kind in ELEMENT_KINDS:
-                profile.record(span.name, span.kind,
-                               span.wall_seconds, span.rows,
-                               int(span.attributes.get("cols", 0) or 0))
+            if span.kind not in ELEMENT_KINDS:
+                continue
+            if query is not None:
+                root = root_of(span)
+                if root is None:
+                    continue
+                wanted = (root.span_id == query if isinstance(query, int)
+                          else root.name == query)
+                if not wanted:
+                    continue
+            profile.record(span.name, span.kind,
+                           span.wall_seconds, span.rows,
+                           int(span.attributes.get("cols", 0) or 0))
         return profile
 
     def record(self, name: str, kind: str, seconds: float,

@@ -21,6 +21,7 @@ package, so module level here must stay dependency-free.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import IO, Any, Iterable, Sequence
@@ -70,14 +71,25 @@ class InMemorySink(Sink):
 class JsonLinesSink(Sink):
     """Writes spans as JSON lines; the metrics snapshot goes last.
 
-    Accepts a path (opened and owned by the sink) or an open text
-    stream (flushed but not closed).  Lines are self-describing:
-    ``{"type": "span", ...}`` and ``{"type": "metrics", ...}``.
+    Accepts a path (``str`` or :class:`os.PathLike`, opened and owned
+    by the sink) or an open text stream (flushed but not closed).
+    ``append=True`` adds to an existing file instead of truncating it —
+    that is how several traced commands accumulate one trace.  Lines
+    are self-describing: ``{"type": "span", ...}`` and
+    ``{"type": "metrics", ...}``.
+
+    The sink is also a context manager: ``with JsonLinesSink(p) as s``
+    guarantees the file is flushed and closed even when the traced
+    operation raises (``close`` is idempotent, so a tracer closing the
+    sink again afterwards is harmless).
     """
 
-    def __init__(self, target: str | IO[str]):
-        if isinstance(target, str):
-            self._fh: IO[str] = open(target, "w", encoding="utf-8")
+    def __init__(self, target: str | os.PathLike | IO[str], *,
+                 append: bool = False):
+        if isinstance(target, (str, os.PathLike)):
+            self._fh: IO[str] = open(os.fspath(target),
+                                     "a" if append else "w",
+                                     encoding="utf-8")
             self._owns = True
         else:
             self._fh = target
@@ -89,7 +101,8 @@ class JsonLinesSink(Sink):
         line = json.dumps({"type": "span", **span.to_dict()},
                           default=str)
         with self._lock:
-            self._fh.write(line + "\n")
+            if not self._closed:
+                self._fh.write(line + "\n")
 
     def close(self, metrics: Metrics | None = None) -> None:
         with self._lock:
@@ -104,13 +117,25 @@ class JsonLinesSink(Sink):
             if self._owns:
                 self._fh.close()
 
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 @dataclass
 class TraceData:
-    """A loaded trace: spans in emission order plus the final metrics."""
+    """A loaded trace: spans in emission order plus the final metrics.
+
+    ``errors`` records malformed lines that were skipped during loading
+    (only populated when :func:`read_trace` runs with
+    ``on_error="skip"``), as ``"line N: reason"`` strings.
+    """
 
     spans: list[Span] = field(default_factory=list)
     metrics: Metrics = field(default_factory=Metrics)
+    errors: list[str] = field(default_factory=list)
 
     def element_spans(self) -> list[Span]:
         return [s for s in self.spans if s.kind in ELEMENT_KINDS]
@@ -131,20 +156,50 @@ class TraceData:
         return [s for s in self.spans if s.parent_id == span.span_id]
 
 
-def read_trace(path: str) -> TraceData:
-    """Load a JSON-lines trace written by :class:`JsonLinesSink`."""
+def read_trace(path: str | os.PathLike, *,
+               on_error: str = "raise") -> TraceData:
+    """Load a JSON-lines trace written by :class:`JsonLinesSink`.
+
+    A truncated or otherwise malformed line (the typical artefact of a
+    crashed or killed traced process) raises a
+    :class:`~repro.core.errors.TraceFormatError` naming file and line —
+    or, with ``on_error="skip"``, is recorded in ``TraceData.errors``
+    and skipped so the intact rest of the trace stays usable.
+    """
+    from ..core.errors import TraceFormatError
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', "
+                         f"got {on_error!r}")
     trace = TraceData()
+    path = os.fspath(path)
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
-            if record.get("type") == "span":
-                trace.spans.append(Span.from_dict(record))
-            elif record.get("type") == "metrics":
-                trace.metrics = Metrics.from_snapshot(
-                    record.get("metrics", {}))
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise TraceFormatError(
+                        f"expected a JSON object, got "
+                        f"{type(record).__name__}",
+                        path=path, line=lineno)
+                if record.get("type") == "span":
+                    trace.spans.append(Span.from_dict(record))
+                elif record.get("type") == "metrics":
+                    trace.metrics = Metrics.from_snapshot(
+                        record.get("metrics", {}))
+            except TraceFormatError as exc:
+                if on_error == "raise":
+                    raise
+                trace.errors.append(f"line {lineno}: {exc}")
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError) as exc:
+                if on_error == "raise":
+                    raise TraceFormatError(
+                        f"malformed trace line: {exc}",
+                        path=path, line=lineno) from exc
+                trace.errors.append(f"line {lineno}: {exc}")
     return trace
 
 

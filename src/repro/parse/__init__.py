@@ -4,7 +4,8 @@ import engine (paper Section 3.2, Fig. 1)."""
 from .description import InputDescription
 from .importer import Importer, ImportReport, MissingPolicy
 from .locations import (DerivedParameter, FilenameLocation, FixedLocation,
-                        FixedValue, Location, NamedLocation, TabularColumn,
+                        FixedValue, JsonField, JsonLocation, JsonWhere,
+                        Location, NamedLocation, TabularColumn,
                         TabularLocation)
 from .separators import RunSeparator
 from .source import MatchHit, SourceText
@@ -12,6 +13,7 @@ from .source import MatchHit, SourceText
 __all__ = [
     "InputDescription", "Importer", "ImportReport", "MissingPolicy",
     "DerivedParameter", "FilenameLocation", "FixedLocation", "FixedValue",
+    "JsonField", "JsonLocation", "JsonWhere",
     "Location", "NamedLocation", "TabularColumn", "TabularLocation",
     "RunSeparator", "MatchHit", "SourceText",
 ]

@@ -26,6 +26,7 @@ featuring a common set of methods with identical interfaces").
 from __future__ import annotations
 
 import abc
+import json
 import os
 import re
 from typing import Any, Sequence
@@ -38,7 +39,7 @@ from .source import SourceText
 
 __all__ = ["Location", "NamedLocation", "FixedLocation", "TabularColumn",
            "TabularLocation", "FilenameLocation", "FixedValue",
-           "DerivedParameter"]
+           "DerivedParameter", "JsonField", "JsonWhere", "JsonLocation"]
 
 
 class Location(abc.ABC):
@@ -350,6 +351,133 @@ class FixedValue(Location):
                 variables: VariableSet) -> None:
         var = self._var(variables, self.variable)
         run.once[var.name] = var.coerce(self.value)
+
+
+_MISSING = object()
+
+
+def _json_lookup(record: Any, path: str) -> Any:
+    """Resolve a dotted key path (``attributes.rows``) in a JSON
+    object; returns ``_MISSING`` when any step is absent."""
+    value = record
+    for key in path.split("."):
+        if not isinstance(value, dict) or key not in value:
+            return _MISSING
+        value = value[key]
+    return value
+
+
+class JsonField:
+    """One extracted field of a :class:`JsonLocation`: target variable
+    plus the dotted key path within each JSON record, with an optional
+    ``default`` (raw text, parsed like file content) used when the key
+    is absent or null."""
+
+    def __init__(self, variable: str, key: str,
+                 default: str | None = None):
+        self.variable = variable
+        self.key = key
+        self.default = default
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JsonField({self.variable!r}, {self.key!r})"
+
+
+class JsonWhere:
+    """A record filter of a :class:`JsonLocation`.
+
+    ``op="eq"`` (default) keeps records whose value at ``key`` equals
+    ``value`` (string comparison); ``op="in"`` keeps records whose
+    value is one of the comma-separated alternatives in ``value``.
+    Records missing ``key`` never match.
+    """
+
+    def __init__(self, key: str, value: str, op: str = "eq"):
+        if op not in ("eq", "in"):
+            raise InputError(f"bad json where op {op!r}")
+        self.key = key
+        self.value = value
+        self.op = op
+        self._alternatives = (frozenset(v.strip()
+                                        for v in value.split(","))
+                              if op == "in" else None)
+
+    def matches(self, record: Any) -> bool:
+        found = _json_lookup(record, self.key)
+        if found is _MISSING:
+            return False
+        if self.op == "in":
+            return str(found) in self._alternatives
+        return str(found) == self.value
+
+
+class JsonLocation(Location):
+    """Data sets extracted from JSON-lines input files.
+
+    Each line of the input that parses as a JSON object and passes all
+    ``where`` filters yields one data set; every :class:`JsonField`
+    maps a dotted key path of the record to a multiple-occurrence
+    variable (the JSON analogue of a tabular location's columns).
+    Lines that are not JSON objects are not data lines and are skipped,
+    like non-table lines around a tabular location.
+
+    This is what lets perfbase import its *own* execution traces
+    (JSON-lines span records from
+    :class:`~repro.obs.sinks.JsonLinesSink`) as a regular experiment —
+    the meta-experiment of the observability subsystem.
+    """
+
+    def __init__(self, fields: Sequence[JsonField], *,
+                 where: Sequence[JsonWhere] = ()):
+        if not fields:
+            raise InputError("json location needs at least one field")
+        self.fields = list(fields)
+        self.where = list(where)
+
+    @property
+    def provides(self) -> tuple[str, ...]:
+        return tuple(f.variable for f in self.fields)
+
+    def _dataset(self, record: Any,
+                 variables: VariableSet) -> dict[str, Any] | None:
+        row: dict[str, Any] = {}
+        for fld in self.fields:
+            var = variables[fld.variable]
+            value = _json_lookup(record, fld.key)
+            if value is _MISSING or value is None:
+                if fld.default is None:
+                    return None  # incomplete record: not a data set
+                row[var.name] = var.parse(fld.default)
+                continue
+            try:
+                row[var.name] = var.coerce(value)
+            except DataTypeError:
+                return None
+        return row
+
+    def extract(self, source: SourceText, run: RunData,
+                variables: VariableSet) -> None:
+        for fld in self.fields:
+            var = variables[fld.variable]
+            if var.occurrence is not Occurrence.MULTIPLE:
+                raise InputError(
+                    f"json location field {var.name!r} must be a "
+                    "multiple-occurrence variable")
+        for i in range(len(source)):
+            line = source.line(i).strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            if not all(w.matches(record) for w in self.where):
+                continue
+            row = self._dataset(record, variables)
+            if row is not None:
+                run.datasets.append(row)
 
 
 class DerivedParameter(Location):

@@ -5,6 +5,8 @@
 * :mod:`~repro.workloads.beffio_assets` — the XML control files of
   Figs. 5-7;
 * :mod:`~repro.workloads.mpibench` — MPI ping-pong latency/bandwidth;
+* :mod:`~repro.workloads.obsmeta` — the meta-experiment: perfbase's
+  own JSON-lines execution traces as a managed experiment;
 * :mod:`~repro.workloads.optionpricing` — the option-pricing simulation
   the paper's introduction cites as a second application area;
 * :mod:`~repro.workloads.testsuite` — correctness test-suite logs.

@@ -1,0 +1,185 @@
+"""The perfbase meta-experiment: perfbase measuring perfbase.
+
+The paper justified the parallel query executor with profiling numbers
+("about 10% of this period is used to retrieve the data from the
+database", Section 4.3).  This module closes the loop: the JSON-lines
+execution traces that :class:`~repro.obs.sinks.JsonLinesSink` records
+are themselves benchmark output in the paper's sense, so perfbase can
+manage them like any other experiment — import via an input
+description, analysis via query specifications.
+
+Shipped control files (same structure as
+:mod:`~repro.workloads.beffio_assets`):
+
+* :func:`experiment_xml` — the experiment definition: one run per
+  trace file, one data set per query-element span;
+* :func:`input_xml` — the input description: a ``json_location`` pulls
+  the element spans out of the trace, ``derived_parameter`` elements
+  compute wall/CPU seconds from the raw clock readings — exactly the
+  arithmetic-relation facility of Section 3.2;
+* :func:`source_fraction_query_xml` — reproduces the Section 4.3
+  number: summed source-element time divided by summed element time;
+* :func:`hotspot_query_xml` — per-element total wall/CPU time, the
+  query-plan hotspot list.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EXPERIMENT_NAME", "experiment_xml", "input_xml",
+           "source_fraction_query_xml", "hotspot_query_xml"]
+
+EXPERIMENT_NAME = "perfbase_meta"
+
+#: the span kinds that count as query elements (Section 3.3's four)
+_ELEMENT_KINDS = "source,operator,combiner,output"
+
+
+def experiment_xml() -> str:
+    """Experiment definition for imported execution traces."""
+    return f"""\
+<experiment>
+  <name>{EXPERIMENT_NAME}</name>
+  <info>
+    <performed_by>
+      <name>perfbase</name>
+      <organization>perfbase observability subsystem</organization>
+    </performed_by>
+    <project>perfbase meta-experiment</project>
+    <synopsis>Execution traces of perfbase query runs</synopsis>
+    <description>Each run is one recorded JSON-lines trace; each data
+      set is one query-element span (Section 4.3 profiling made a
+      managed experiment).
+    </description>
+  </info>
+  <parameter occurrence="once">
+    <name>run_label</name>
+    <synopsis>label of the traced command (from the trace filename)</synopsis>
+    <datatype>string</datatype>
+  </parameter>
+  <parameter>
+    <name>element</name>
+    <synopsis>query element the span measured</synopsis>
+    <datatype>string</datatype>
+  </parameter>
+  <parameter>
+    <name>kind</name>
+    <synopsis>element kind of the span</synopsis>
+    <datatype>string</datatype>
+    <valid>source</valid> <valid>operator</valid>
+    <valid>combiner</valid> <valid>output</valid>
+  </parameter>
+  <parameter>
+    <name>t_start</name>
+    <synopsis>monotonic clock at span start</synopsis>
+    <datatype>float</datatype>
+    <unit> <base_unit>s</base_unit> </unit>
+  </parameter>
+  <parameter>
+    <name>t_end</name>
+    <synopsis>monotonic clock at span end</synopsis>
+    <datatype>float</datatype>
+    <unit> <base_unit>s</base_unit> </unit>
+  </parameter>
+  <parameter>
+    <name>cpu_t0</name>
+    <synopsis>process CPU clock at span start</synopsis>
+    <datatype>float</datatype>
+    <unit> <base_unit>s</base_unit> </unit>
+  </parameter>
+  <parameter>
+    <name>cpu_t1</name>
+    <synopsis>process CPU clock at span end</synopsis>
+    <datatype>float</datatype>
+    <unit> <base_unit>s</base_unit> </unit>
+  </parameter>
+  <result>
+    <name>rows</name>
+    <synopsis>rows the element produced</synopsis>
+    <datatype>integer</datatype>
+  </result>
+  <result>
+    <name>wall_s</name>
+    <synopsis>wall time of the span</synopsis>
+    <datatype>float</datatype>
+    <unit> <base_unit>s</base_unit> </unit>
+  </result>
+  <result>
+    <name>cpu_s</name>
+    <synopsis>CPU time of the span</synopsis>
+    <datatype>float</datatype>
+    <unit> <base_unit>s</base_unit> </unit>
+  </result>
+</experiment>
+"""
+
+
+def input_xml() -> str:
+    """Input description for JSON-lines trace files.
+
+    The ``json_location`` keeps only finished query-element spans; the
+    two ``derived_parameter`` elements turn the raw clock readings into
+    the wall/CPU durations the queries aggregate.
+    """
+    return f"""\
+<input name="{EXPERIMENT_NAME}">
+  <filename_location parameter="run_label" pattern="^([^.]+)"/>
+  <json_location>
+    <where key="type" value="span"/>
+    <where key="kind" value="{_ELEMENT_KINDS}" op="in"/>
+    <field variable="element" key="name"/>
+    <field variable="kind" key="kind"/>
+    <field variable="t_start" key="start"/>
+    <field variable="t_end" key="end"/>
+    <field variable="cpu_t0" key="cpu_start"/>
+    <field variable="cpu_t1" key="cpu_end"/>
+    <field variable="rows" key="attributes.rows" default="0"/>
+  </json_location>
+  <derived_parameter parameter="wall_s" expression="t_end - t_start"/>
+  <derived_parameter parameter="cpu_s" expression="cpu_t1 - cpu_t0"/>
+</input>
+"""
+
+
+def source_fraction_query_xml() -> str:
+    """The Section 4.3 ratio as a declarative query: time in source
+    elements over time in all elements, computed by perfbase itself
+    from an imported trace."""
+    return """\
+<query name="source_fraction">
+  <source id="src_sources">
+    <parameter name="kind" value="source" show="no"/>
+    <result name="wall_s"/>
+  </source>
+  <source id="src_elements">
+    <result name="wall_s"/>
+  </source>
+  <operator id="sum_sources" type="sum" input="src_sources"/>
+  <operator id="sum_elements" type="sum" input="src_elements"/>
+  <operator id="fraction" type="div" input="sum_sources sum_elements"/>
+  <output id="table" input="fraction" format="ascii">
+    <option name="title">fraction of element time spent in sources</option>
+    <option name="precision">6</option>
+  </output>
+</query>
+"""
+
+
+def hotspot_query_xml() -> str:
+    """Per-element total wall/CPU time: the hotspot list of a traced
+    query run, grouped by plan element."""
+    return """\
+<query name="element_hotspots">
+  <source id="src">
+    <parameter name="element"/>
+    <parameter name="kind"/>
+    <result name="wall_s"/>
+    <result name="cpu_s"/>
+  </source>
+  <operator id="total" type="sum" input="src"/>
+  <output id="table" input="total" format="ascii">
+    <option name="title">per-element total time</option>
+    <option name="sort_by">element</option>
+    <option name="precision">6</option>
+  </output>
+</query>
+"""

@@ -17,9 +17,21 @@ Vocabulary (one element per location kind of Section 3.2)::
                          [separator="_"] [part="3"]/>
       <fixed_value parameter="fs" value="ufs"/>
       <derived_parameter parameter="total" expression="a * b"/>
+      <json_location>
+        <where key="type" value="span"/>
+        <where key="kind" value="source,operator" op="in"/>
+        <field variable="element" key="name"/>
+        <field variable="rows" key="attributes.rows" default="0"/>
+      </json_location>
       <run_separator match=".." [regex="yes"] [keep_line="yes"]
                      [leading="discard|run"]/>
     </input>
+
+The ``json_location`` element (not in the paper's Fig. 6 vocabulary)
+extracts data sets from JSON-lines files — one data set per record
+that passes every ``where`` filter, one column per ``field`` (dotted
+key paths address nested objects).  It exists so perfbase's own
+JSON-lines execution traces import like any other benchmark output.
 """
 
 from __future__ import annotations
@@ -29,7 +41,8 @@ import xml.etree.ElementTree as ET
 from ..core.errors import XMLFormatError
 from ..parse.description import InputDescription
 from ..parse.locations import (DerivedParameter, FilenameLocation,
-                               FixedLocation, FixedValue, NamedLocation,
+                               FixedLocation, FixedValue, JsonField,
+                               JsonLocation, JsonWhere, NamedLocation,
                                TabularColumn, TabularLocation)
 from ..parse.separators import RunSeparator
 from .schema import (ANY, AT_LEAST_ONE, OPTIONAL, ElementSpec, bool_attr,
@@ -38,6 +51,11 @@ from .schema import (ANY, AT_LEAST_ONE, OPTIONAL, ElementSpec, bool_attr,
 __all__ = ["parse_input_xml", "INPUT_SPEC"]
 
 _COLUMN = ElementSpec("column").attr("variable", True).attr("field", True)
+
+_JSON_WHERE = (ElementSpec("where")
+               .attr("key", True).attr("value", True).attr("op"))
+_JSON_FIELD = (ElementSpec("field")
+               .attr("variable", True).attr("key", True).attr("default"))
 
 INPUT_SPEC = (
     ElementSpec("input").attr("name")
@@ -65,6 +83,10 @@ INPUT_SPEC = (
     .child("derived_parameter",
            (ElementSpec("derived_parameter")
             .attr("parameter", True).attr("expression", True)), ANY)
+    .child("json_location",
+           (ElementSpec("json_location")
+            .child("where", _JSON_WHERE, ANY)
+            .child("field", _JSON_FIELD, AT_LEAST_ONE)), ANY)
     .child("run_separator",
            (ElementSpec("run_separator")
             .attr("match", True).attr("regex").attr("keep_line")
@@ -129,6 +151,14 @@ def parse_input_xml(source: str) -> InputDescription:
         elif tag == "derived_parameter":
             description.add(DerivedParameter(
                 element.get("parameter"), element.get("expression")))
+        elif tag == "json_location":
+            description.add(JsonLocation(
+                [JsonField(f.get("variable"), f.get("key"),
+                           default=f.get("default"))
+                 for f in element.findall("field")],
+                where=[JsonWhere(w.get("key"), w.get("value"),
+                                 op=w.get("op", "eq"))
+                       for w in element.findall("where")]))
         elif tag == "run_separator":
             description.separator = RunSeparator(
                 element.get("match"),

@@ -1,0 +1,110 @@
+"""Trace diffing and regression detection."""
+
+import pytest
+
+from repro.obs import (InMemorySink, Span, TraceData, Tracer,
+                       diff_traces, use_tracer)
+
+pytestmark = [pytest.mark.obs, pytest.mark.obs_analytics]
+
+
+def element(span_id, name, kind, start, seconds, rows=0):
+    return Span(span_id, None, name, kind=kind, start=start,
+                end=start + seconds, attributes={"rows": rows})
+
+
+def base_spans():
+    return [
+        element(1, "src", "source", 0.0, 0.100, rows=10),
+        element(2, "agg", "operator", 0.1, 0.050, rows=5),
+        element(3, "out", "output", 0.2, 0.020),
+        Span(4, None, "stmt", kind="db", start=0.0, end=0.3),
+    ]
+
+
+def slowed_spans(factor=3.0):
+    """The same workload with an injected slowdown of one element."""
+    return [
+        element(1, "src", "source", 0.0, 0.100 * factor, rows=10),
+        element(2, "agg", "operator", 0.4, 0.050, rows=5),
+        element(3, "out", "output", 0.5, 0.020),
+        Span(4, None, "stmt", kind="db", start=0.0, end=0.9),
+    ]
+
+
+class TestDiffTraces:
+    def test_injected_slowdown_is_flagged(self):
+        diff = diff_traces(base_spans(), slowed_spans(),
+                           threshold=0.25)
+        assert diff.has_regressions
+        regressed = [d.name for d in diff.regressions()]
+        assert regressed == ["src"]
+        delta = diff.regressions()[0]
+        assert delta.wall_ratio == pytest.approx(3.0)
+        assert delta.wall_delta == pytest.approx(0.200)
+
+    def test_no_false_positives_on_identical_traces(self):
+        diff = diff_traces(base_spans(), base_spans())
+        assert not diff.has_regressions
+        assert not diff.improvements()
+
+    def test_improvement_detected(self):
+        diff = diff_traces(slowed_spans(), base_spans())
+        assert not diff.has_regressions
+        assert [d.name for d in diff.improvements()] == ["src"]
+
+    def test_min_seconds_noise_floor(self):
+        # 3x growth but only 200ms absolute: a 300ms floor mutes it
+        diff = diff_traces(base_spans(), slowed_spans(),
+                           min_seconds=0.3)
+        assert not diff.has_regressions
+
+    def test_element_kinds_only_by_default(self):
+        diff = diff_traces(base_spans(), slowed_spans())
+        assert all(d.kind != "db" for d in diff.deltas)
+        full = diff_traces(base_spans(), slowed_spans(), kinds=None)
+        assert any(d.kind == "db" for d in full.deltas)
+
+    def test_only_base_and_only_new(self):
+        new = base_spans()[:2] + [
+            element(9, "extra", "operator", 0.5, 0.010)]
+        diff = diff_traces(base_spans(), new)
+        assert ("output", "out") in diff.only_base
+        assert ("operator", "extra") in diff.only_new
+        extra = next(d for d in diff.deltas if d.name == "extra")
+        assert extra.wall_ratio == float("inf")
+
+    def test_accepts_trace_data_and_tracers(self):
+        base = TraceData(spans=base_spans())
+        tracer = Tracer(InMemorySink())
+        with use_tracer(tracer):
+            with tracer.span("src", kind="source", rows=10):
+                pass
+        tracer.close()
+        diff = diff_traces(base, tracer)
+        assert any(d.name == "src" for d in diff.deltas)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            diff_traces([], [], threshold=-0.1)
+
+
+class TestReport:
+    def test_report_contents(self):
+        diff = diff_traces(base_spans(), slowed_spans(),
+                           threshold=0.25)
+        text = diff.report(title="serial -> slowed")
+        lines = text.splitlines()
+        assert lines[0].startswith(
+            "serial -> slowed: 3 span set(s), threshold 25%")
+        assert "REGRESSION" in text
+        assert text.rstrip().endswith(
+            "1 regression(s), 0 improvement(s)")
+        # worst ratio first
+        data_lines = [l for l in lines if l.startswith(
+            ("source", "operator", "output"))]
+        assert data_lines[0].startswith("source")
+
+    def test_report_marks_disappeared_sets(self):
+        diff = diff_traces(base_spans(), base_spans()[:2])
+        assert "only in base trace: out [output]" in diff.report()

@@ -1,0 +1,100 @@
+"""The perfbase meta-experiment: a recorded execution trace imported
+via the shipped ``json_location`` input description, with the Section
+4.3 source fraction recomputed by a declarative perfbase query."""
+
+import pytest
+
+from repro import Experiment
+from repro.obs import (InMemorySink, JsonLinesSink, QueryProfile,
+                       Tracer, read_trace, use_tracer)
+from repro.parse import Importer
+from repro.workloads import obsmeta
+from repro.workloads.beffio_assets import fig8_query_xml
+from repro.xmlio import (parse_experiment_xml, parse_input_xml,
+                         parse_query_xml)
+
+pytestmark = [pytest.mark.obs, pytest.mark.obs_analytics]
+
+
+@pytest.fixture
+def trace_file(beffio_experiment, tmp_path):
+    """A JSON-lines trace of one fig8 query run."""
+    path = tmp_path / "fig8.jsonl"
+    tracer = Tracer(InMemorySink(), JsonLinesSink(path))
+    query = parse_query_xml(fig8_query_xml())
+    with use_tracer(tracer):
+        query.execute(beffio_experiment)
+    tracer.close()
+    return path
+
+
+@pytest.fixture
+def meta_experiment(server):
+    definition = parse_experiment_xml(obsmeta.experiment_xml())
+    assert definition.name == obsmeta.EXPERIMENT_NAME
+    return Experiment.create(server, definition.name,
+                             list(definition.variables),
+                             definition.info)
+
+
+def import_trace(meta_experiment, trace_file):
+    importer = Importer(meta_experiment,
+                        parse_input_xml(obsmeta.input_xml()))
+    return importer.import_file(str(trace_file))
+
+
+class TestImport:
+    def test_one_run_per_trace_one_dataset_per_element_span(
+            self, meta_experiment, trace_file):
+        report = import_trace(meta_experiment, trace_file)
+        assert report.n_imported == 1
+        trace = read_trace(str(trace_file))
+        run = meta_experiment.load_run(
+            meta_experiment.run_indices()[0])
+        assert run.once["run_label"] == "fig8"
+        assert len(run.datasets) == len(trace.element_spans())
+        by_element = {ds["element"]: ds for ds in run.datasets}
+        for span in trace.element_spans():
+            ds = by_element[span.name]
+            assert ds["kind"] == span.kind
+            assert ds["rows"] == span.rows
+            assert ds["wall_s"] == pytest.approx(span.wall_seconds)
+            assert ds["cpu_s"] == pytest.approx(span.cpu_seconds)
+
+    def test_non_element_spans_are_filtered_out(self, meta_experiment,
+                                                trace_file):
+        import_trace(meta_experiment, trace_file)
+        run = meta_experiment.load_run(
+            meta_experiment.run_indices()[0])
+        kinds = {ds["kind"] for ds in run.datasets}
+        assert kinds <= {"source", "operator", "combiner", "output"}
+
+
+class TestSourceFractionQuery:
+    def test_matches_query_profile(self, meta_experiment, trace_file):
+        """The shipped XML query reproduces the Section 4.3 number the
+        profile view derives from the same spans."""
+        import_trace(meta_experiment, trace_file)
+        query = parse_query_xml(obsmeta.source_fraction_query_xml())
+        result = query.execute(meta_experiment, keep_temp_tables=True)
+        fraction = result.vectors["fraction"].rows()[0][-1]
+        profile = QueryProfile.from_spans(
+            read_trace(str(trace_file)).spans)
+        assert fraction == pytest.approx(profile.source_fraction(),
+                                         rel=1e-9)
+        assert 0.0 < fraction < 1.0
+        # the rendered artefact shows the same number
+        assert f"{fraction:.6f}" in result.artifacts[0].content
+
+
+class TestHotspotQuery:
+    def test_one_row_per_element(self, meta_experiment, trace_file):
+        import_trace(meta_experiment, trace_file)
+        query = parse_query_xml(obsmeta.hotspot_query_xml())
+        result = query.execute(meta_experiment, keep_temp_tables=True)
+        rows = result.vectors["total"].rows()
+        trace = read_trace(str(trace_file))
+        elements = {s.name for s in trace.element_spans()}
+        assert len(rows) == len(elements)
+        names = {row[0] for row in rows}
+        assert names == elements

@@ -1,0 +1,72 @@
+"""ASCII span-timeline rendering."""
+
+import pytest
+
+from repro.obs import Span, timeline
+
+pytestmark = [pytest.mark.obs, pytest.mark.obs_analytics]
+
+
+def spans_fixture():
+    """A query root with two children, plus a db span (hidden by
+    default)."""
+    return [
+        Span(1, None, "q", kind="query", start=0.0, end=1.0),
+        Span(2, 1, "src", kind="source", start=0.0, end=0.6,
+             attributes={"rows": 4}),
+        Span(3, 2, "stmt", kind="db", start=0.1, end=0.2),
+        Span(4, 1, "out", kind="output", start=0.6, end=1.0),
+    ]
+
+
+class TestTimeline:
+    def test_empty(self):
+        assert timeline([]) == "trace timeline: no spans\n"
+
+    def test_header_and_rows(self):
+        text = timeline(spans_fixture(), width=40)
+        lines = text.splitlines()
+        assert lines[0] == "trace timeline: 3 span(s), 1000.000ms window"
+        # depth-first: root, then children by start time
+        assert lines[1].startswith("q ")
+        assert lines[2].startswith("  src")
+        assert lines[3].startswith("  out")
+        assert "1000.000ms" in lines[1] and "query" in lines[1]
+
+    def test_db_spans_hidden_by_default(self):
+        text = timeline(spans_fixture())
+        assert "stmt" not in text
+        assert "stmt" in timeline(spans_fixture(), hide_kinds=())
+
+    def test_bars_positioned_in_global_window(self):
+        text = timeline(spans_fixture(), width=10)
+        rows = text.splitlines()[1:]
+        root_bar = rows[0].split("|")[1]
+        src_bar = rows[1].split("|")[1]
+        out_bar = rows[2].split("|")[1]
+        assert root_bar == "#" * 10
+        assert src_bar.startswith("#") and src_bar.count("#") == 6
+        # out starts at 60% of the window
+        assert out_bar.index("#") == 6 and out_bar.count("#") == 4
+
+    def test_unfinished_spans_skipped(self):
+        spans = spans_fixture() + [Span(9, 1, "open", kind="source",
+                                        start=0.5)]
+        assert "open" not in timeline(spans)
+
+    def test_max_rows_elision_is_explicit(self):
+        spans = [Span(i, None, f"s{i}", kind="source",
+                      start=float(i), end=float(i) + 0.5)
+                 for i in range(1, 8)]
+        text = timeline(spans, max_rows=3)
+        assert "... 4 more span(s) elided (max_rows=3)" in text
+        assert text.count("source") == 3
+
+    def test_deterministic_sibling_order(self):
+        spans = [
+            Span(2, None, "b", kind="source", start=0.0, end=1.0),
+            Span(1, None, "a", kind="source", start=0.0, end=1.0),
+        ]
+        lines = timeline(spans).splitlines()
+        # same start -> span id breaks the tie
+        assert lines[1].startswith("a") and lines[2].startswith("b")

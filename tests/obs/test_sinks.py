@@ -3,9 +3,11 @@ ASCII summary rendering."""
 
 import io
 import json
+import pathlib
 
 import pytest
 
+from repro.core.errors import TraceFormatError
 from repro.obs import (AsciiSummarySink, InMemorySink, JsonLinesSink,
                        Metrics, Span, Tracer, metrics_table, read_trace,
                        summary_table, use_tracer)
@@ -101,6 +103,86 @@ class TestJsonLinesSink:
                         '"parent_id": null, "name": "a"}\n\n')
         loaded = read_trace(str(path))
         assert len(loaded.spans) == 1
+
+    def test_pathlike_target(self, tmp_path):
+        path = tmp_path / "trace.jsonl"   # a pathlib.Path, not a str
+        assert isinstance(path, pathlib.Path)
+        sink = JsonLinesSink(path)
+        sink.emit(Span(1, None, "a", start=0.0, end=1.0))
+        sink.close()
+        assert len(read_trace(path).spans) == 1
+
+    def test_append_mode_accumulates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for span_id in (1, 2):
+            with JsonLinesSink(path, append=True) as sink:
+                sink.emit(Span(span_id, None, f"s{span_id}",
+                               start=0.0, end=1.0))
+        loaded = read_trace(path)
+        assert [s.name for s in loaded.spans] == ["s1", "s2"]
+        # default mode truncates
+        with JsonLinesSink(path) as sink:
+            sink.emit(Span(3, None, "s3", start=0.0, end=1.0))
+        assert [s.name for s in read_trace(path).spans] == ["s3"]
+
+    def test_context_manager_closes_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonLinesSink(path) as sink:
+            sink.emit(Span(1, None, "a", start=0.0, end=1.0))
+        sink.emit(Span(2, None, "late", start=0.0, end=1.0))
+        sink.close()  # idempotent after __exit__
+        assert [s.name for s in read_trace(path).spans] == ["a"]
+
+
+class TestReadTraceHardening:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(text)
+        return path
+
+    def good_line(self, span_id=1, name="a"):
+        return json.dumps({"type": "span", "span_id": span_id,
+                           "parent_id": None, "name": name,
+                           "start": 0.0, "end": 1.0})
+
+    def test_truncated_line_raises_with_location(self, tmp_path):
+        # the typical artefact of a killed process: a cut-off line
+        path = self._write(tmp_path,
+                           self.good_line(1) + "\n"
+                           + self.good_line(2)[:25] + "\n")
+        with pytest.raises(TraceFormatError) as err:
+            read_trace(path)
+        assert "line 2" in str(err.value)
+        assert str(path) in str(err.value)
+        assert err.value.line == 2
+
+    def test_truncated_line_skipped_on_request(self, tmp_path):
+        path = self._write(tmp_path,
+                           self.good_line(1, "a") + "\n"
+                           + self.good_line(2, "b")[:25] + "\n"
+                           + self.good_line(3, "c") + "\n")
+        loaded = read_trace(path, on_error="skip")
+        assert [s.name for s in loaded.spans] == ["a", "c"]
+        assert len(loaded.errors) == 1
+        assert loaded.errors[0].startswith("line 2:")
+
+    def test_missing_required_key(self, tmp_path):
+        path = self._write(tmp_path,
+                           '{"type": "span", "name": "no-id"}\n')
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+        assert read_trace(path, on_error="skip").spans == []
+
+    def test_non_object_record(self, tmp_path):
+        path = self._write(tmp_path, "[1, 2, 3]\n")
+        with pytest.raises(TraceFormatError) as err:
+            read_trace(path)
+        assert "list" in str(err.value)
+
+    def test_bad_on_error_value(self, tmp_path):
+        path = self._write(tmp_path, self.good_line() + "\n")
+        with pytest.raises(ValueError):
+            read_trace(path, on_error="ignore")
 
 
 class TestTraceData:

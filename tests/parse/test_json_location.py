@@ -1,0 +1,129 @@
+"""Unit tests for JsonLocation: data sets from JSON-lines input files."""
+
+import json
+
+import pytest
+
+from repro.core import InputError, Parameter, Result, RunData, VariableSet
+from repro.parse import JsonField, JsonLocation, JsonWhere, SourceText
+from repro.xmlio import parse_input_xml
+
+
+def variables():
+    return VariableSet([
+        Parameter("technique"),
+        Parameter("size", datatype="integer", occurrence="multiple"),
+        Parameter("mode", occurrence="multiple"),
+        Result("bw", datatype="float", occurrence="multiple"),
+    ])
+
+
+def jl(*records):
+    """A JSON-lines text with a header line that is not JSON."""
+    lines = ["# not a JSON line"]
+    lines += [json.dumps(r) for r in records]
+    return "\n".join(lines) + "\n"
+
+
+def extract(location, text, filename="t.jsonl"):
+    run = RunData()
+    location.extract(SourceText(text, filename), run, variables())
+    return run
+
+
+class TestJsonLocation:
+    def test_fields_with_dotted_paths(self):
+        loc = JsonLocation([
+            JsonField("size", "size"),
+            JsonField("mode", "detail.mode"),
+            JsonField("bw", "detail.rate"),
+        ])
+        text = jl({"size": 32, "detail": {"mode": "read",
+                                          "rate": 5.5}},
+                  {"size": 64, "detail": {"mode": "write",
+                                          "rate": 7.25}})
+        run = extract(loc, text)
+        assert run.datasets == [
+            {"size": 32, "mode": "read", "bw": 5.5},
+            {"size": 64, "mode": "write", "bw": 7.25},
+        ]
+
+    def test_where_eq_and_in(self):
+        loc = JsonLocation(
+            [JsonField("size", "size")],
+            where=[JsonWhere("type", "span"),
+                   JsonWhere("mode", "read,write", op="in")])
+        text = jl({"type": "span", "mode": "read", "size": 1},
+                  {"type": "metrics", "mode": "read", "size": 2},
+                  {"type": "span", "mode": "seek", "size": 3},
+                  {"type": "span", "mode": "write", "size": 4},
+                  {"type": "span", "size": 5})  # missing key: no match
+        run = extract(loc, text)
+        assert [ds["size"] for ds in run.datasets] == [1, 4]
+
+    def test_default_fills_missing_and_null(self):
+        loc = JsonLocation([JsonField("size", "size"),
+                            JsonField("bw", "rate", default="0.0")])
+        text = jl({"size": 1, "rate": 2.5},
+                  {"size": 2},
+                  {"size": 3, "rate": None})
+        run = extract(loc, text)
+        assert [ds["bw"] for ds in run.datasets] == [2.5, 0.0, 0.0]
+
+    def test_missing_field_without_default_skips_record(self):
+        loc = JsonLocation([JsonField("size", "size"),
+                            JsonField("bw", "rate")])
+        text = jl({"size": 1}, {"size": 2, "rate": 9.0})
+        run = extract(loc, text)
+        assert run.datasets == [{"size": 2, "bw": 9.0}]
+
+    def test_unparseable_lines_and_non_objects_skipped(self):
+        loc = JsonLocation([JsonField("size", "size")])
+        text = "{broken json\n[1, 2]\n42\n" + jl({"size": 7})
+        run = extract(loc, text)
+        assert [ds["size"] for ds in run.datasets] == [7]
+
+    def test_uncoercible_value_skips_record(self):
+        loc = JsonLocation([JsonField("size", "size")])
+        text = jl({"size": "not-a-number"}, {"size": 11})
+        run = extract(loc, text)
+        assert [ds["size"] for ds in run.datasets] == [11]
+
+    def test_provides(self):
+        loc = JsonLocation([JsonField("a", "x"), JsonField("b", "y")])
+        assert loc.provides == ("a", "b")
+
+    def test_once_variable_rejected(self):
+        loc = JsonLocation([JsonField("technique", "t")])
+        with pytest.raises(InputError, match="multiple-occurrence"):
+            extract(loc, jl({"t": "new"}))
+
+    def test_validation_errors(self):
+        with pytest.raises(InputError):
+            JsonLocation([])
+        with pytest.raises(InputError):
+            JsonWhere("k", "v", op="matches")
+
+
+class TestJsonLocationXml:
+    def test_parse_input_xml(self):
+        description = parse_input_xml("""\
+<input name="traces">
+  <json_location>
+    <where key="type" value="span"/>
+    <where key="mode" value="read,write" op="in"/>
+    <field variable="size" key="size"/>
+    <field variable="bw" key="detail.rate" default="0.0"/>
+  </json_location>
+</input>
+""")
+        (loc,) = description.locations
+        assert isinstance(loc, JsonLocation)
+        assert loc.provides == ("size", "bw")
+        assert [w.op for w in loc.where] == ["eq", "in"]
+        text = jl({"type": "span", "mode": "read", "size": 16,
+                   "detail": {"rate": 3.5}},
+                  {"type": "span", "mode": "read", "size": 32})
+        run = extract(loc, text)
+        assert run.datasets == [{"size": 16, "bw": 3.5},
+                                {"size": 32, "bw": 0.0}]
