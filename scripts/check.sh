@@ -23,3 +23,11 @@ echo "== obs-analytics: bench smoke (writes benchmarks/BENCH_pr2.json) =="
 python -m pytest -q -p no:randomly --benchmark-disable \
     benchmarks/bench_obs_analytics.py
 test -s benchmarks/BENCH_pr2.json
+
+echo "== batch storage path: correctness + identity markers (pytest -m batch) =="
+python -m pytest -q -p no:randomly -m batch tests
+
+echo "== batch storage path: bench smoke (writes benchmarks/BENCH_pr3.json) =="
+python -m pytest -q -p no:randomly --benchmark-disable \
+    benchmarks/bench_scale_throughput.py::TestTrajectoryPoint
+test -s benchmarks/BENCH_pr3.json

@@ -83,6 +83,8 @@ def cmd_input(args: argparse.Namespace) -> int:
              + ", ".join(report.duplicates))
     if report.discarded:
         echo(f"discarded {report.discarded} incomplete run(s)")
+    for filename, reason in report.failed.items():
+        echo(f"discarded file {filename}: {reason}")
     for index, names in report.missing.items():
         echo(f"run {index}: no content for " + ", ".join(names))
     exp.close()
@@ -582,8 +584,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
         paths.extend(matches if matches else [pattern])
     total = ImporterReportAccumulator()
     with obs_session(args):
-        for path in paths:
-            total.merge(importer.import_file(path))
+        # one storage batch for the whole trace batch: single
+        # transaction, grouped meta inserts (same as `perfbase input`)
+        with exp.store.batch():
+            for path in paths:
+                total.merge(importer.import_file(path))
     echo(f"imported {total.n_imported} trace run(s) from "
          f"{len(paths)} file(s)")
     if total.duplicates:

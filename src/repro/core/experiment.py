@@ -169,11 +169,19 @@ class Experiment:
 
         ``require_all`` / ``use_defaults`` implement the missing-content
         policies of Section 3.2 (discard vs default vs leave empty).
+        Inside an open :meth:`batch` the run joins the batch's
+        transaction instead of committing on its own.
         """
         self._check(UserClass.INPUT, "import run data")
         run.validate(self.variables, require_all=require_all,
                      use_defaults=use_defaults)
         return self.store.store_run(run, self.variables)
+
+    def batch(self):
+        """A storage batch: many :meth:`store_run` calls, one
+        transaction (see :class:`repro.db.BatchContext`)."""
+        self._check(UserClass.INPUT, "import run data")
+        return self.store.batch()
 
     def run_indices(self) -> list[int]:
         self._check(UserClass.QUERY, "list runs")
@@ -182,6 +190,12 @@ class Experiment:
     def run_record(self, index: int) -> RunRecord:
         self._check(UserClass.QUERY, "inspect run")
         return self.store.run_record(index)
+
+    def run_records(self) -> list[RunRecord]:
+        """All active runs' records in a constant number of SQL
+        statements (the status-retrieval fast path)."""
+        self._check(UserClass.QUERY, "list runs")
+        return self.store.run_records()
 
     def load_run(self, index: int) -> RunData:
         self._check(UserClass.QUERY, "read run data")

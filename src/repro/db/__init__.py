@@ -3,14 +3,15 @@ experiment schema and temp-table management."""
 
 from .backend import Database, DatabaseServer, quote_identifier
 from .checksums import content_checksum, file_checksum
-from .schema import (ExperimentStore, SCHEMA_VERSION, variable_from_json,
-                     variable_to_json)
+from .schema import (BatchContext, ExperimentStore, SCHEMA_VERSION,
+                     variable_from_json, variable_to_json)
 from .sqlite_backend import MemoryServer, SQLiteDatabase, SQLiteServer
 from .temptables import TempTableManager
 
 __all__ = [
-    "Database", "DatabaseServer", "quote_identifier", "content_checksum",
-    "file_checksum", "ExperimentStore", "SCHEMA_VERSION",
-    "variable_from_json", "variable_to_json", "MemoryServer",
-    "SQLiteDatabase", "SQLiteServer", "TempTableManager",
+    "BatchContext", "Database", "DatabaseServer", "quote_identifier",
+    "content_checksum", "file_checksum", "ExperimentStore",
+    "SCHEMA_VERSION", "variable_from_json", "variable_to_json",
+    "MemoryServer", "SQLiteDatabase", "SQLiteServer",
+    "TempTableManager",
 ]

@@ -80,6 +80,23 @@ class Database(abc.ABC):
     def commit(self) -> None:
         """Commit the current transaction."""
 
+    def begin(self) -> None:
+        """Start an explicit transaction, if the backend supports one.
+
+        Backends without transaction support may leave this a no-op;
+        batched writers then degrade to grouped-but-not-atomic
+        statement execution.
+        """
+
+    def rollback(self) -> None:
+        """Discard the current transaction.
+
+        The default raises: a backend that cannot roll back must not
+        silently pretend a failed batch was undone.
+        """
+        raise DatabaseError(
+            f"{type(self).__name__} does not support rollback")
+
     @abc.abstractmethod
     def close(self) -> None:
         """Close the connection."""

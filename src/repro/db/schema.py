@@ -43,10 +43,11 @@ from ..core.run import RunData, RunRecord
 from ..core.units import BaseUnit, Unit
 from ..core.variables import (Occurrence, Parameter, Result, Variable,
                               VariableSet)
+from ..obs.tracer import current_tracer, maybe_span
 from .backend import Database, quote_identifier
 
-__all__ = ["ExperimentStore", "variable_to_json", "variable_from_json",
-           "SCHEMA_VERSION"]
+__all__ = ["BatchContext", "ExperimentStore", "variable_to_json",
+           "variable_from_json", "SCHEMA_VERSION"]
 
 SCHEMA_VERSION = 1
 
@@ -55,6 +56,8 @@ _VARS = "pb_variables"
 _RUNS = "pb_runs"
 _FILES = "pb_run_files"
 _ONCE = "pb_once"
+#: index keeping the duplicate-import guard O(log n) at E9 scale
+_FILES_CHECKSUM_INDEX = "pb_run_files_checksum"
 
 
 def _unit_to_json(unit: Unit) -> dict:
@@ -142,11 +145,27 @@ class ExperimentStore:
     Run storage is safe under in-process concurrency (parallel
     importers share one store): index allocation and the associated
     inserts happen under a write lock.
+
+    The decoded :class:`VariableSet` is cached per store instance —
+    decoding every ``pb_variables`` row for every
+    ``run_record``/``load_once``/``load_datasets`` call made status
+    retrieval O(runs x variables) in SQL statements.  Every
+    schema-evolution entry point (:meth:`save_variables`,
+    :meth:`add_variable`, :meth:`remove_variable`,
+    :meth:`modify_variable`) invalidates the cache; external writers
+    (another process on the same database file) require an explicit
+    :meth:`invalidate_variables_cache`.
+
+    :meth:`batch` opens a :class:`BatchContext` that turns many
+    ``store_run`` calls into one transaction with grouped inserts.
     """
 
     def __init__(self, db: Database):
         self.db = db
         self._write_lock = threading.Lock()
+        self._variables_cache: VariableSet | None = None
+        self._checksum_index_ready = False
+        self._batch: "BatchContext | None" = None
 
     # -- initialisation ----------------------------------------------------
 
@@ -168,6 +187,7 @@ class ExperimentStore:
         self.db.create_table(_FILES, [("run_index", "INTEGER"),
                                       ("filename", "TEXT"),
                                       ("checksum", "TEXT")])
+        self._ensure_checksum_index()
         self.db.create_table(_ONCE, [("run_index", "INTEGER")],
                              primary_key="run_index")
         self.set_meta("name", name)
@@ -177,6 +197,15 @@ class ExperimentStore:
     @property
     def is_initialised(self) -> bool:
         return self.db.table_exists(_META)
+
+    def _ensure_checksum_index(self) -> None:
+        """Create the checksum index once per store (covers databases
+        initialised before the index existed)."""
+        if not self._checksum_index_ready:
+            self.db.execute(
+                f"CREATE INDEX IF NOT EXISTS {_FILES_CHECKSUM_INDEX} "
+                f"ON {_FILES} (checksum)")
+            self._checksum_index_ready = True
 
     # -- meta key/value ------------------------------------------------------
 
@@ -196,19 +225,41 @@ class ExperimentStore:
 
     # -- variable definitions --------------------------------------------
 
+    def invalidate_variables_cache(self) -> None:
+        """Drop the cached :class:`VariableSet`.
+
+        Called automatically by every evolution entry point of this
+        store; call it manually after another process changed the
+        ``pb_variables`` table of a shared database file.
+        """
+        self._variables_cache = None
+
     def save_variables(self, variables: VariableSet) -> None:
         """Persist the full variable set (used at setup time)."""
-        self.db.execute(f"DELETE FROM {_VARS}")
-        self.db.insert_rows(
-            _VARS, ["name", "definition", "position"],
-            [(v.name, variable_to_json(v), i)
-             for i, v in enumerate(variables)])
-        self.db.commit()
+        try:
+            self.db.execute(f"DELETE FROM {_VARS}")
+            self.db.insert_rows(
+                _VARS, ["name", "definition", "position"],
+                [(v.name, variable_to_json(v), i)
+                 for i, v in enumerate(variables)])
+            self.db.commit()
+        finally:
+            self.invalidate_variables_cache()
 
     def load_variables(self) -> VariableSet:
+        """The experiment's variable set (cached; see class docs).
+
+        The returned set is shared — treat it as read-only and go
+        through the evolution entry points for changes.
+        """
+        cached = self._variables_cache
+        if cached is not None:
+            return cached
         rows = self.db.fetchall(
             f"SELECT definition FROM {_VARS} ORDER BY position")
-        return VariableSet([variable_from_json(r[0]) for r in rows])
+        variables = VariableSet([variable_from_json(r[0]) for r in rows])
+        self._variables_cache = variables
+        return variables
 
     def add_variable(self, var: Variable) -> None:
         """Experiment evolution: add a variable.
@@ -219,40 +270,48 @@ class ExperimentStore:
         """
         variables = self.load_variables()
         variables.add(var)  # raises on duplicates
-        pos = self.db.fetchone(
-            f"SELECT COALESCE(MAX(position), -1) + 1 FROM {_VARS}")[0]
-        self.db.execute(
-            f"INSERT INTO {_VARS} (name, definition, position) "
-            "VALUES (?, ?, ?)", (var.name, variable_to_json(var), pos))
-        col = quote_identifier(var.name)
-        stype = sql_type(var.datatype)
-        if var.occurrence is Occurrence.ONCE:
+        try:
+            pos = self.db.fetchone(
+                f"SELECT COALESCE(MAX(position), -1) + 1 FROM {_VARS}")[0]
             self.db.execute(
-                f"ALTER TABLE {_ONCE} ADD COLUMN {col} {stype}")
-        else:
-            for idx in self.run_indices():
+                f"INSERT INTO {_VARS} (name, definition, position) "
+                "VALUES (?, ?, ?)", (var.name, variable_to_json(var), pos))
+            col = quote_identifier(var.name)
+            stype = sql_type(var.datatype)
+            if var.occurrence is Occurrence.ONCE:
                 self.db.execute(
-                    f"ALTER TABLE {quote_identifier(self.run_table(idx))} "
-                    f"ADD COLUMN {col} {stype}")
-        self.db.commit()
+                    f"ALTER TABLE {_ONCE} ADD COLUMN {col} {stype}")
+            else:
+                for idx in self.run_indices():
+                    self.db.execute(
+                        f"ALTER TABLE "
+                        f"{quote_identifier(self.run_table(idx))} "
+                        f"ADD COLUMN {col} {stype}")
+            self.db.commit()
+        finally:
+            self.invalidate_variables_cache()
 
     def remove_variable(self, name: str) -> None:
         """Experiment evolution: remove a variable and its stored data."""
         variables = self.load_variables()
         var = variables.remove(name)
-        self.db.execute(f"DELETE FROM {_VARS} WHERE name=?", (name,))
-        col = quote_identifier(name)
-        if var.occurrence is Occurrence.ONCE:
-            if name in self.db.table_columns(_ONCE):
-                self.db.execute(f"ALTER TABLE {_ONCE} DROP COLUMN {col}")
-        else:
-            for idx in self.run_indices():
-                table = self.run_table(idx)
-                if name in self.db.table_columns(table):
+        try:
+            self.db.execute(f"DELETE FROM {_VARS} WHERE name=?", (name,))
+            col = quote_identifier(name)
+            if var.occurrence is Occurrence.ONCE:
+                if name in self.db.table_columns(_ONCE):
                     self.db.execute(
-                        f"ALTER TABLE {quote_identifier(table)} "
-                        f"DROP COLUMN {col}")
-        self.db.commit()
+                        f"ALTER TABLE {_ONCE} DROP COLUMN {col}")
+            else:
+                for idx in self.run_indices():
+                    table = self.run_table(idx)
+                    if name in self.db.table_columns(table):
+                        self.db.execute(
+                            f"ALTER TABLE {quote_identifier(table)} "
+                            f"DROP COLUMN {col}")
+            self.db.commit()
+        finally:
+            self.invalidate_variables_cache()
 
     def modify_variable(self, var: Variable) -> None:
         """Experiment evolution: replace the definition of a variable.
@@ -269,10 +328,13 @@ class ExperimentStore:
         if old.occurrence is not var.occurrence:
             raise DefinitionError(
                 f"cannot change occurrence of {var.name!r}")
-        self.db.execute(
-            f"UPDATE {_VARS} SET definition=? WHERE name=?",
-            (variable_to_json(var), var.name))
-        self.db.commit()
+        try:
+            self.db.execute(
+                f"UPDATE {_VARS} SET definition=? WHERE name=?",
+                (variable_to_json(var), var.name))
+            self.db.commit()
+        finally:
+            self.invalidate_variables_cache()
 
     def _ensure_once_columns(self, variables: VariableSet) -> None:
         existing = set(self.db.table_columns(_ONCE))
@@ -294,9 +356,23 @@ class ExperimentStore:
             f"SELECT COALESCE(MAX(run_index), 0) + 1 FROM {_RUNS}")
         return int(row[0])
 
+    def batch(self) -> "BatchContext":
+        """A context manager batching many :meth:`store_run` calls
+        into one transaction with grouped inserts (see
+        :class:`BatchContext`)."""
+        return BatchContext(self)
+
     def store_run(self, run: RunData, variables: VariableSet | None = None,
                   *, created: _dt.datetime | None = None) -> int:
-        """Persist a validated :class:`RunData`; returns the run index."""
+        """Persist a validated :class:`RunData`; returns the run index.
+
+        Inside an active :meth:`batch` of the calling thread the run
+        joins the batch (deferred commit, grouped meta inserts) —
+        callers do not need to distinguish the two paths.
+        """
+        batch = self._batch
+        if batch is not None and batch.owns_current_thread:
+            return batch.store_run(run, variables, created=created)
         variables = variables or self.load_variables()
         created = created or run.created or _dt.datetime.now()
         with self._write_lock:
@@ -367,6 +443,46 @@ class ExperimentStore:
             n_datasets=int(row[2]),
             once=self.load_once(index))
 
+    def run_records(self) -> list[RunRecord]:
+        """All active runs' records in three statements total.
+
+        The per-run :meth:`run_record` costs three statements *per
+        run*; status retrieval over hundreds of runs (``perfbase
+        runs``/``report``) uses this bulk form instead.  Output is
+        identical to ``[run_record(i) for i in run_indices()]``.
+        """
+        variables = self.load_variables()
+        with maybe_span("run_records", kind="status") as span:
+            runs = self.db.fetchall(
+                f"SELECT run_index, created, n_datasets FROM {_RUNS} "
+                "WHERE active=1 ORDER BY run_index")
+            files: dict[int, list[str]] = {}
+            for run_index, filename in self.db.fetchall(
+                    f"SELECT run_index, filename FROM {_FILES}"):
+                files.setdefault(int(run_index), []).append(filename)
+            once_cols = self.db.table_columns(_ONCE)
+            once: dict[int, dict[str, Any]] = {}
+            for row in self.db.fetchall(f"SELECT * FROM {_ONCE}"):
+                content: dict[str, Any] = {}
+                index = None
+                for col, value in zip(once_cols, row):
+                    if col == "run_index":
+                        index = int(value)
+                    elif value is not None and col in variables:
+                        content[col] = _decode_value(
+                            value, variables[col].datatype)
+                once[index] = content
+            if span is not None:
+                span.attributes["runs"] = len(runs)
+        return [
+            RunRecord(
+                index=int(r[0]),
+                created=_decode_value(r[1], DataType.TIMESTAMP),
+                source_files=tuple(files.get(int(r[0]), ())),
+                n_datasets=int(r[2]),
+                once=once.get(int(r[0]), {}))
+            for r in runs]
+
     def load_once(self, index: int) -> dict[str, Any]:
         """Once-content of a run, decoded per variable datatype."""
         variables = self.load_variables()
@@ -424,7 +540,9 @@ class ExperimentStore:
         self.db.commit()
 
     def n_runs(self) -> int:
-        return len(self.run_indices())
+        row = self.db.fetchone(
+            f"SELECT COUNT(*) FROM {_RUNS} WHERE active=1")
+        return int(row[0])
 
     # -- duplicate import guard ------------------------------------------
 
@@ -437,5 +555,208 @@ class ExperimentStore:
         return {r[0]: int(r[1]) for r in rows}
 
     def find_import(self, checksum: str) -> int | None:
-        """Run index a file with this checksum was imported as, if any."""
-        return self.known_checksums().get(checksum)
+        """Run index a file with this checksum was imported as, if any.
+
+        A point query over the checksum index — O(log n) instead of
+        materialising :meth:`known_checksums` per imported file.  Runs
+        buffered in an open batch of the calling thread are visible
+        too, so in-batch duplicates are still caught.
+        """
+        batch = self._batch
+        if batch is not None and batch.owns_current_thread:
+            pending = batch.pending_checksum(checksum)
+            if pending is not None:
+                return pending
+        self._ensure_checksum_index()
+        row = self.db.fetchone(
+            f"SELECT f.run_index FROM {_FILES} f "
+            f"JOIN {_RUNS} r ON r.run_index = f.run_index "
+            "WHERE f.checksum=? AND r.active=1 LIMIT 1", (checksum,))
+        return None if row is None else int(row[0])
+
+
+class BatchContext:
+    """Many runs, one transaction: the batch-import fast path.
+
+    The serial :meth:`ExperimentStore.store_run` pays, per run, a
+    ``MAX(run_index)`` scan, a ``pb_variables`` decode, four separate
+    INSERT statements and a ``commit()``.  A batch instead
+
+    * allocates the run-index range once at entry,
+    * reuses the store's cached :class:`VariableSet`,
+    * buffers the ``pb_once``/``pb_runs``/``pb_run_files`` rows and
+      flushes each table with a single ``executemany`` at exit,
+    * commits exactly once (per-run data tables are still created
+      immediately — their contents are per-run by design and already
+      go through ``executemany``).
+
+    Stored results are identical to the serial path: same run indices,
+    same cell values, same checksum bookkeeping.  On an exception the
+    whole batch rolls back, so a failed batch leaves the experiment
+    untouched (Section 3.2's "without worrying about corrupt or
+    incomplete experiment data").
+
+    The batch holds the store's write lock for its whole extent and
+    registers itself on the store, so ``store_run`` calls anywhere
+    down the call chain (``Experiment.store_run``, the importers) join
+    it transparently.  Nested ``with store.batch()`` blocks on the
+    same thread join the outer batch.  Do not evolve the experiment
+    schema (add/remove/modify variables) inside a batch — those entry
+    points commit, which would split the batch transaction.
+    """
+
+    def __init__(self, store: ExperimentStore):
+        self.store = store
+        self.db = store.db
+        #: run indices allocated by this batch, in storage order
+        self.indices: list[int] = []
+        self._owner: int | None = None
+        self._outer: "BatchContext | None" = None
+        self._next_index = 0
+        self._variables: VariableSet | None = None
+        self._once_rows: list[tuple[int, dict[str, Any]]] = []
+        self._runs_rows: list[tuple] = []
+        self._files_rows: list[tuple] = []
+        self._checksums: dict[str, int] = {}
+
+    @property
+    def owns_current_thread(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def pending_checksum(self, checksum: str) -> int | None:
+        """Run index of a not-yet-flushed file with this checksum."""
+        return self._checksums.get(checksum)
+
+    def __enter__(self) -> "BatchContext":
+        active = self.store._batch
+        if active is not None and active.owns_current_thread:
+            self._outer = active  # nested batch: join the outer one
+            return active
+        # lazy index creation must not join (and die with) the batch
+        # transaction
+        self.store._ensure_checksum_index()
+        self.store._write_lock.acquire()
+        self._owner = threading.get_ident()
+        self.store._batch = self
+        try:
+            self.db.begin()
+            self._next_index = self.store.next_run_index()
+            self._variables = self.store.load_variables()
+            self.store._ensure_once_columns(self._variables)
+        except BaseException:
+            self._release()
+            raise
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.counter("db.batches").inc()
+        return self
+
+    def store_run(self, run: RunData,
+                  variables: VariableSet | None = None, *,
+                  created: _dt.datetime | None = None) -> int:
+        """Persist one run within the batch; returns the run index."""
+        if not self.owns_current_thread:
+            raise DatabaseError(
+                "a batch is only usable from the thread that opened it")
+        variables = variables or self._variables
+        created = created or run.created or _dt.datetime.now()
+        index = self._next_index
+        self._next_index += 1
+
+        once_vars = [v for v in variables.once() if v.name in run.once]
+        self._once_rows.append((index, {
+            v.name: _encode_value(run.once[v.name], v.datatype)
+            for v in once_vars}))
+
+        multi_vars = variables.multiple()
+        table = self.store.run_table(index)
+        self.db.create_table(
+            table,
+            [("dataset_index", "INTEGER")]
+            + [(v.name, sql_type(v.datatype)) for v in multi_vars],
+            primary_key="dataset_index")
+        if run.datasets:
+            names = [v.name for v in multi_vars]
+            rows = []
+            for i, ds in enumerate(run.datasets):
+                rows.append([i] + [
+                    _encode_value(ds.get(v.name), v.datatype)
+                    for v in multi_vars])
+            self.db.insert_rows(table, ["dataset_index"] + names, rows)
+
+        self._runs_rows.append(
+            (index, created.strftime("%Y-%m-%d %H:%M:%S.%f"),
+             len(run.datasets), 1))
+        if run.source_files:
+            from .checksums import file_checksum
+            for fn in run.source_files:
+                checksum = run.file_checksums.get(fn)
+                if checksum is None:
+                    checksum = file_checksum(fn, missing_ok=True)
+                self._files_rows.append((index, fn, checksum))
+                if checksum is not None:
+                    self._checksums.setdefault(checksum, index)
+        self.indices.append(index)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.counter("db.batch_runs").inc()
+        return index
+
+    def flush(self) -> None:
+        """Write the buffered meta rows (one ``executemany`` per
+        table).  Called automatically on exit; long-running batches may
+        flush periodically to bound the buffers."""
+        if not (self._once_rows or self._runs_rows or self._files_rows):
+            return
+        with maybe_span("batch_flush", kind="db.batch",
+                        runs=len(self._runs_rows)):
+            if self._once_rows:
+                # one statement over the union of once-columns —
+                # unspecified columns default to NULL, so the stored
+                # rows equal the serial per-run inserts
+                names: list[str] = []
+                for _index, content in self._once_rows:
+                    for name in content:
+                        if name not in names:
+                            names.append(name)
+                self.db.insert_rows(
+                    _ONCE, ["run_index"] + names,
+                    [[index] + [content.get(n) for n in names]
+                     for index, content in self._once_rows])
+            if self._runs_rows:
+                self.db.insert_rows(
+                    _RUNS, ["run_index", "created", "n_datasets",
+                            "active"], self._runs_rows)
+            if self._files_rows:
+                self.db.insert_rows(
+                    _FILES, ["run_index", "filename", "checksum"],
+                    self._files_rows)
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.metrics.counter("db.batch_flushes").inc()
+        self._once_rows.clear()
+        self._runs_rows.clear()
+        self._files_rows.clear()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._outer is not None:
+            self._outer = None  # joined batch: the outer exit settles
+            return False
+        try:
+            if exc_type is None:
+                self.flush()
+                self.db.commit()
+            else:
+                try:
+                    self.db.rollback()
+                except DatabaseError:
+                    pass  # the original exception matters more
+        finally:
+            self._release()
+        return False
+
+    def _release(self) -> None:
+        self.store._batch = None
+        self._owner = None
+        self._checksums.clear()
+        self.store._write_lock.release()

@@ -48,8 +48,10 @@ class _Variance:
         self.m2 += delta * (float(value) - self.mean)
 
     def finalize(self):
+        # PostgreSQL (the paper's backend) yields NULL for the sample
+        # variance of fewer than two rows; mirror that instead of 0.0.
         if self.n < 2:
-            return 0.0 if self.n else None
+            return None
         return self.m2 / (self.n - 1)
 
 
@@ -160,8 +162,12 @@ class SQLiteDatabase(Database):
                 return alias
             alias = f"pbatt{len(self._attached)}"
             try:
+                # single quotes in the URI (e.g. an apostrophe in the
+                # cluster directory name) must be doubled inside the
+                # SQL string literal
+                escaped = uri.replace("'", "''")
                 self._conn.execute(
-                    f"ATTACH DATABASE '{uri}' AS {alias}")
+                    f"ATTACH DATABASE '{escaped}' AS {alias}")
             except sqlite3.Error:
                 return None
             self._attached[uri] = alias
@@ -270,6 +276,24 @@ class SQLiteDatabase(Database):
     def commit(self) -> None:
         with self._lock:
             self._conn.commit()
+
+    def begin(self) -> None:
+        """Open an explicit transaction (no-op if one is already open).
+
+        sqlite3's implicit transaction handling only BEGINs before DML,
+        so DDL issued early in a batch (per-run table creation) would
+        otherwise autocommit and escape a later rollback.
+        """
+        with self._lock:
+            if not self._conn.in_transaction:
+                try:
+                    self._conn.execute("BEGIN")
+                except sqlite3.Error as exc:  # pragma: no cover
+                    raise DatabaseError(str(exc)) from exc
+
+    def rollback(self) -> None:
+        with self._lock:
+            self._conn.rollback()
 
     def close(self) -> None:
         with self._lock:

@@ -52,6 +52,8 @@ class ImportReport:
     discarded: int = 0
     duplicates: list[str] = field(default_factory=list)
     missing: dict[int, list[str]] = field(default_factory=dict)
+    #: files dropped under the discard policy, with the reason
+    failed: dict[str, str] = field(default_factory=dict)
 
     @property
     def n_imported(self) -> int:
@@ -62,6 +64,7 @@ class ImportReport:
         self.discarded += other.discarded
         self.duplicates.extend(other.duplicates)
         self.missing.update(other.missing)
+        self.failed.update(other.failed)
 
 
 class Importer:
@@ -171,6 +174,17 @@ class Importer:
             runs = desc.extract(text, filename,
                                 self.experiment.variables)
             if not runs:
+                # a file yielding no runs must not abort a batch under
+                # the discard policy (Section 3.2's batch promise)
+                if self.missing is MissingPolicy.DISCARD:
+                    report.discarded += 1
+                    report.failed[filename] = "no runs found"
+                    if tracer is not None:
+                        tracer.metrics.counter(
+                            "import.files_discarded").inc()
+                    if span is not None:
+                        span.attributes["discarded"] = True
+                    return report
                 raise InputError(f"no runs found in {filename}")
             for run in runs:
                 run.file_checksums[filename] = checksum
@@ -193,14 +207,36 @@ class Importer:
                      ) -> ImportReport:
         """Import many files independently: one (or more) runs each.
 
-        Duplicates and (under the discard policy) incomplete runs are
-        skipped without aborting the batch — "batch imports of a large
-        number of input files without worrying about corrupt or
-        incomplete experiment data".
+        Duplicates and (under the discard policy) malformed files and
+        incomplete runs are skipped without aborting the batch —
+        "batch imports of a large number of input files without
+        worrying about corrupt or incomplete experiment data".
+
+        The whole call runs as one storage batch
+        (:meth:`repro.db.ExperimentStore.batch`): one transaction, run
+        indices allocated once, meta rows flushed via ``executemany``.
+        Under a non-discard policy an aborting file rolls the batch
+        back, leaving the experiment untouched.
         """
+        paths = list(paths)
         report = ImportReport()
-        for path in paths:
-            report.merge(self.import_file(path, description))
+        tracer = current_tracer()
+        with maybe_span("import_files", kind="import.batch",
+                        files=len(paths)) as span:
+            with self.experiment.store.batch():
+                for path in paths:
+                    try:
+                        report.merge(self.import_file(path, description))
+                    except InputError as exc:
+                        if self.missing is not MissingPolicy.DISCARD:
+                            raise
+                        report.discarded += 1
+                        report.failed[str(path)] = str(exc)
+                        if tracer is not None:
+                            tracer.metrics.counter(
+                                "import.files_discarded").inc()
+            if span is not None:
+                span.attributes["runs"] = report.n_imported
         return report
 
     # -- Fig. 1 case d) ------------------------------------------------------
@@ -217,22 +253,44 @@ class Importer:
         if not parts:
             raise InputError("import_merged needs at least one part")
         report = ImportReport()
-        merged: RunData | None = None
+        loaded: list[tuple[str, InputDescription, str]] = []
         for path, desc in parts:
             if desc.separator is not None:
                 raise InputError(
                     "run separators are not allowed when merging "
                     "multiple inputs into a single run")
-            text = self._read(str(path))
+            loaded.append((str(path), desc, self._read(str(path))))
+        # check every part's checksum up front: a duplicate discovered
+        # mid-merge used to silently discard the already-merged earlier
+        # parts — now a duplicate anywhere aborts before anything is
+        # merged or stored, and the report names every duplicate part
+        checksums: list[str] = []
+        for filename, _desc, text in loaded:
             try:
-                checksum = self._check_duplicate(text, str(path))
+                checksums.append(self._check_duplicate(text, filename))
             except DuplicateImportError:
-                report.duplicates.append(str(path))
-                return report
-            runs = desc.extract(text, str(path),
+                report.duplicates.append(filename)
+        if report.duplicates:
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.metrics.counter(
+                    "import.duplicates_skipped").inc(
+                        len(report.duplicates))
+            return report
+        merged: RunData | None = None
+        for (filename, desc, text), checksum in zip(loaded, checksums):
+            runs = desc.extract(text, filename,
                                 self.experiment.variables)
+            if not runs:
+                raise InputError(
+                    f"merged import: no run content found in "
+                    f"{filename}")
+            if len(runs) > 1:
+                raise InputError(
+                    f"merged import: {filename} yields {len(runs)} "
+                    "runs; a merge part must describe exactly one")
             part_run = runs[0]
-            part_run.file_checksums[str(path)] = checksum
+            part_run.file_checksums[filename] = checksum
             if merged is None:
                 merged = part_run
             else:

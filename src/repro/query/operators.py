@@ -75,8 +75,11 @@ _SQL_AGG = {
 #: numpy reduction per operator for the element-wise and Python paths
 _NP_AGG = {
     "avg": lambda a: float(np.mean(a)),
-    "stddev": lambda a: float(np.std(a, ddof=1)) if len(a) > 1 else 0.0,
-    "variance": lambda a: float(np.var(a, ddof=1)) if len(a) > 1 else 0.0,
+    # sample stddev/variance of a single value is NULL (PostgreSQL
+    # semantics, matched by the pb_* SQL aggregates), not 0.0
+    "stddev": lambda a: float(np.std(a, ddof=1)) if len(a) > 1 else None,
+    "variance": lambda a: (float(np.var(a, ddof=1))
+                           if len(a) > 1 else None),
     "count": lambda a: int(len(a)),
     "median": lambda a: float(np.median(a)),
     "min": lambda a: float(np.min(a)),
@@ -271,10 +274,10 @@ class Operator(QueryElement):
                     aggs.append(None)
                 elif self.op == "stddev":
                     aggs.append(statistics.stdev(values)
-                                if len(values) > 1 else 0.0)
+                                if len(values) > 1 else None)
                 elif self.op == "variance":
                     aggs.append(statistics.variance(values)
-                                if len(values) > 1 else 0.0)
+                                if len(values) > 1 else None)
                 else:
                     aggs.append(_NP_AGG[self.op](np.asarray(values)))
             out_rows.append(list(key) + aggs)

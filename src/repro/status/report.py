@@ -50,7 +50,8 @@ def experiment_report(experiment: Experiment, *,
     """Render the status report as plain text."""
     info = experiment.info
     variables = experiment.variables
-    indices = experiment.run_indices()
+    records = experiment.run_records()
+    indices = [r.index for r in records]
     lines = [
         f"experiment report: {experiment.name}",
         "=" * (20 + len(experiment.name)),
@@ -65,8 +66,7 @@ def experiment_report(experiment: Experiment, *,
 
     total_datasets = 0
     first = last = None
-    for index in indices:
-        record = experiment.run_record(index)
+    for record in records:
         total_datasets += record.n_datasets
         if first is None or record.created < first:
             first = record.created
@@ -94,9 +94,8 @@ def experiment_report(experiment: Experiment, *,
             v.name: [] for v in variables.parameters}
         multi_names = {v.name for v in variables.parameters
                        if v.occurrence is Occurrence.MULTIPLE}
-        for index in indices:
-            once = experiment.store.load_once(index)
-            for name, value in once.items():
+        for record in records:
+            for name, value in record.once.items():
                 if name in once_content:
                     once_content[name].append(value)
         # multiple-occurrence coverage from the first few runs only

@@ -69,9 +69,8 @@ def sweep_coverage(experiment: Experiment,
     counts: dict[tuple[tuple[str, Any], ...], int] = {
         tuple(zip(names, combo)): 0
         for combo in itertools.product(*(coerced[n] for n in names))}
-    for index in experiment.run_indices():
-        once = experiment.store.load_once(index)
-        key = tuple((n, once.get(n)) for n in names)
+    for record in experiment.run_records():
+        key = tuple((n, record.once.get(n)) for n in names)
         if key in counts:
             counts[key] += 1
     return counts

@@ -82,6 +82,21 @@ class TestSQLiteServer:
         with pytest.raises(Exception):
             srv.create_database("../evil")
 
+    def test_attach_path_with_apostrophe(self, tmp_path):
+        # the directory name lands inside the ATTACH string literal —
+        # the quote must be escaped, not break the statement
+        quirky = tmp_path / "o'brien"
+        quirky.mkdir()
+        srv = SQLiteServer(quirky)
+        source = srv.create_database("src")
+        source.create_table("t", [("a", "INTEGER")])
+        source.insert_rows("t", ["a"], [(7,)])
+        source.commit()
+        target = srv.create_database("dst")
+        alias = target.attach(source)
+        assert alias is not None
+        assert target.fetchone(f"SELECT a FROM {alias}.t")[0] == 7
+
 
 class TestRegisteredAggregates:
     """pb_stddev / pb_variance / pb_median / pb_product."""
@@ -119,10 +134,13 @@ class TestRegisteredAggregates:
         assert self.q("pb_stddev(v)") == pytest.approx(
             statistics.stdev(self.values))
 
-    def test_single_value_stddev_zero(self):
+    def test_single_value_stddev_null(self):
+        # PostgreSQL semantics: sample stddev/variance of one row is
+        # NULL, not 0.0
         self.db.execute("DELETE FROM t")
         self.db.insert_rows("t", ["v", "g"], [(7.0, "a")])
-        assert self.q("pb_stddev(v)") == 0.0
+        assert self.q("pb_stddev(v)") is None
+        assert self.q("pb_variance(v)") is None
 
     def test_empty_returns_null(self):
         self.db.execute("DELETE FROM t")

@@ -1,0 +1,243 @@
+"""Batch-import robustness and the merged-import correctness fixes:
+no-runs files must not abort a discard batch, merged imports must fail
+loudly on empty or duplicate parts, and the batched storage path must
+produce results identical to serial imports (PR-3 satellites S1/S2/S5).
+"""
+
+import pytest
+
+from repro.core import InputError, RunData
+from repro.db.checksums import content_checksum
+from repro.parse import (Importer, InputDescription, MissingPolicy,
+                         NamedLocation, TabularColumn, TabularLocation)
+from tests.conftest import make_simple_experiment
+
+pytestmark = pytest.mark.batch
+
+
+def simple_description():
+    return InputDescription([
+        NamedLocation("technique", "technique="),
+        NamedLocation("fs", "fs="),
+        TabularLocation([TabularColumn("S_chunk", 1),
+                         TabularColumn("access", 2),
+                         TabularColumn("bw", 3)],
+                        start="DATA"),
+    ])
+
+
+def one_run_text(technique="old", bw=1.5):
+    return (f"technique={technique}\nfs=ufs\nDATA\n"
+            f" 32 write {bw}\n 64 read {bw * 2}\n")
+
+
+class NoRunsDescription(InputDescription):
+    """Simulates a custom description whose extraction finds nothing
+    usable in a file (e.g. an empty or truncated output file)."""
+
+    def extract(self, text, filename, variables):
+        if "NOTHING" in text:
+            return []
+        return super().extract(text, filename, variables)
+
+
+class CorruptRaisingDescription(InputDescription):
+    """Simulates a description that rejects a corrupt file outright."""
+
+    def extract(self, text, filename, variables):
+        if "CORRUPT" in text:
+            raise InputError(f"unparseable garbage in {filename}")
+        return super().extract(text, filename, variables)
+
+
+class MultiRunDescription(InputDescription):
+    """Yields two runs from one file without declaring a separator."""
+
+    def extract(self, text, filename, variables):
+        runs = super().extract(text, filename, variables)
+        return runs + [RunData(once=dict(runs[0].once))]
+
+
+def write_files(tmp_path, contents):
+    paths = []
+    for i, text in enumerate(contents):
+        p = tmp_path / f"f{i}.txt"
+        p.write_text(text)
+        paths.append(p)
+    return paths
+
+
+class TestNoRunsFile:
+    def test_discard_policy_skips_and_continues(self, server, tmp_path):
+        exp = make_simple_experiment(server)
+        paths = write_files(tmp_path, [one_run_text(bw=1.0),
+                                       "NOTHING here\n",
+                                       one_run_text(bw=2.0)])
+        imp = Importer(exp, NoRunsDescription(
+            simple_description().locations),
+            missing=MissingPolicy.DISCARD)
+        report = imp.import_files(paths)
+        assert report.n_imported == 2
+        assert report.discarded == 1
+        assert report.failed == {str(paths[1]): "no runs found"}
+        assert exp.n_runs() == 2
+
+    def test_other_policies_raise(self, server):
+        exp = make_simple_experiment(server)
+        imp = Importer(exp, NoRunsDescription(
+            simple_description().locations))
+        with pytest.raises(InputError, match="no runs found"):
+            imp.import_text("NOTHING\n", "empty.txt")
+
+
+class TestCorruptFileInBatch:
+    def test_discard_policy_records_and_continues(self, server,
+                                                  tmp_path):
+        exp = make_simple_experiment(server)
+        paths = write_files(tmp_path, [one_run_text(bw=1.0),
+                                       "CORRUPT \x00\x00\n",
+                                       one_run_text(bw=2.0)])
+        imp = Importer(exp, CorruptRaisingDescription(
+            simple_description().locations),
+            missing=MissingPolicy.DISCARD)
+        report = imp.import_files(paths)
+        assert report.n_imported == 2
+        assert report.discarded == 1
+        assert "unparseable garbage" in report.failed[str(paths[1])]
+        assert exp.n_runs() == 2
+
+    def test_strict_policy_rolls_back_whole_batch(self, server,
+                                                  tmp_path):
+        # the batch is one transaction: an aborting file leaves the
+        # experiment untouched, including the files imported before it
+        exp = make_simple_experiment(server)
+        paths = write_files(tmp_path, [one_run_text(bw=1.0),
+                                       "CORRUPT\n"])
+        imp = Importer(exp, CorruptRaisingDescription(
+            simple_description().locations),
+            missing=MissingPolicy.REJECT)
+        with pytest.raises(InputError, match="unparseable"):
+            imp.import_files(paths)
+        assert exp.n_runs() == 0
+        # the first file was rolled back, so it is importable again
+        report = imp.import_files(paths[:1])
+        assert report.n_imported == 1
+
+
+class TestMergedImportParts:
+    def env_part(self, tmp_path, text="technique=new\nfs=nfs\n"):
+        p = tmp_path / "env.txt"
+        p.write_text(text)
+        return p, InputDescription([
+            NamedLocation("technique", "technique="),
+            NamedLocation("fs", "fs=")])
+
+    def data_part(self, tmp_path, text="DATA\n 32 write 1.0\n"):
+        p = tmp_path / "bench.txt"
+        p.write_text(text)
+        return p, InputDescription([
+            TabularLocation([TabularColumn("S_chunk", 1),
+                             TabularColumn("access", 2),
+                             TabularColumn("bw", 3)], start="DATA")])
+
+    def test_empty_part_raises(self, server, tmp_path):
+        exp = make_simple_experiment(server)
+        env = self.env_part(tmp_path)
+        p = tmp_path / "empty.txt"
+        p.write_text("NOTHING\n")
+        part = (p, NoRunsDescription([NamedLocation("fs", "fs=")]))
+        with pytest.raises(InputError,
+                           match="no run content found in"):
+            Importer(exp).import_merged([env, part])
+        assert exp.n_runs() == 0
+
+    def test_multi_run_part_raises(self, server, tmp_path):
+        exp = make_simple_experiment(server)
+        p = tmp_path / "double.txt"
+        p.write_text("technique=a\n")
+        part = (p, MultiRunDescription(
+            [NamedLocation("technique", "technique=")]))
+        with pytest.raises(InputError, match="yields 2 runs"):
+            Importer(exp).import_merged([part])
+        assert exp.n_runs() == 0
+
+    def test_duplicate_part_aborts_without_partial_merge(
+            self, server, tmp_path):
+        # a duplicate discovered mid-merge used to silently discard the
+        # parts merged before it; now nothing is stored and the report
+        # names the duplicate part
+        exp = make_simple_experiment(server)
+        data = self.data_part(tmp_path)
+        Importer(exp, data[1]).import_file(data[0])
+        assert exp.n_runs() == 1
+        env = self.env_part(tmp_path)
+        copy = tmp_path / "copy.txt"
+        copy.write_text(data[0].read_text())
+        report = Importer(exp).import_merged(
+            [env, (copy, data[1])])
+        assert report.n_imported == 0
+        assert report.duplicates == [str(copy)]
+        assert exp.n_runs() == 1
+
+    def test_duplicate_first_part_same_outcome(self, server, tmp_path):
+        exp = make_simple_experiment(server)
+        data = self.data_part(tmp_path)
+        Importer(exp, data[1]).import_file(data[0])
+        env = self.env_part(tmp_path)
+        copy = tmp_path / "copy.txt"
+        copy.write_text(data[0].read_text())
+        report = Importer(exp).import_merged(
+            [(copy, data[1]), env])
+        assert report.duplicates == [str(copy)]
+        assert exp.n_runs() == 1
+
+    def test_force_allows_duplicate_parts(self, server, tmp_path):
+        exp = make_simple_experiment(server)
+        data = self.data_part(tmp_path)
+        Importer(exp, data[1]).import_file(data[0])
+        env = self.env_part(tmp_path)
+        report = Importer(exp, force=True).import_merged(
+            [env, data])
+        assert report.n_imported == 1
+        assert exp.n_runs() == 2
+
+
+class TestBatchSerialIdentity:
+    def test_import_files_matches_serial_imports(self, server,
+                                                 tmp_path):
+        texts = [one_run_text("old", bw=float(i + 1)) for i in range(4)]
+        texts += [one_run_text("new", bw=float(i + 1))
+                  for i in range(4)]
+        paths = write_files(tmp_path, texts)
+
+        batched = make_simple_experiment(server, "batched")
+        Importer(batched, simple_description()).import_files(paths)
+
+        serial = make_simple_experiment(server, "serial")
+        imp = Importer(serial, simple_description())
+        for path in paths:
+            imp.import_file(path)
+
+        assert batched.run_indices() == serial.run_indices()
+        for i in batched.run_indices():
+            b, s = batched.load_run(i), serial.load_run(i)
+            assert b.once == s.once
+            assert b.datasets == s.datasets
+            assert b.source_files == s.source_files
+        for path in paths:
+            checksum = content_checksum(path.read_text())
+            assert (batched.store.find_import(checksum)
+                    == serial.store.find_import(checksum))
+        assert ([r.once for r in batched.run_records()]
+                == [r.once for r in serial.run_records()])
+
+    def test_in_batch_duplicate_detected(self, server, tmp_path):
+        # two files with identical content inside one batch: the
+        # buffered checksums catch the second before anything commits
+        exp = make_simple_experiment(server)
+        paths = write_files(tmp_path, [one_run_text(bw=1.0),
+                                       one_run_text(bw=1.0)])
+        report = Importer(exp, simple_description()).import_files(paths)
+        assert report.n_imported == 1
+        assert report.duplicates == [str(paths[1])]
+        assert exp.n_runs() == 1
