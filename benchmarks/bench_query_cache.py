@@ -1,0 +1,153 @@
+"""E10: incremental query engine — cold vs warm execution of the
+Section 5 analysis queries, and the paper's dominant workload of
+re-running an analysis after importing a handful of new runs.
+
+Emits the ``benchmarks/BENCH_pr4.json`` trajectory point: the warm
+(fully cached) b_eff_io query suite against the cold baseline, plus an
+append-10-runs scenario where the re-query only recomputes what the
+import touched.  Headline numbers use ``time.perf_counter`` so the
+smoke run works under ``--benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.workloads.beffio import BeffIOConfig, BeffIOSimulator
+from repro.workloads.beffio_assets import (fig8_query_xml,
+                                           stddev_query_xml)
+from repro.xmlio import parse_query_xml
+from _helpers import report
+
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_pr4.json"
+
+
+@pytest.fixture(scope="module")
+def cache_experiment():
+    """A private 120-run experiment: this bench appends runs and
+    stores cache tables, which must not leak into the session-shared
+    ``large_experiment``."""
+    from conftest import build_large_experiment
+    return build_large_experiment("beffio_qcache")
+
+
+def query_suite():
+    """The two Section 5 analysis queries (Fig. 7 + stddev check)."""
+    return [parse_query_xml(fig8_query_xml()),
+            parse_query_xml(stddev_query_xml())]
+
+
+def run_suite(experiment, cache):
+    artifacts = {}
+    for query in query_suite():
+        result = query.execute(experiment, cache=cache)
+        for artifact in result.artifacts:
+            artifacts[f"{query.name}/{artifact.name}"] = \
+                artifact.content
+    return artifacts
+
+
+def append_runs(experiment, n, *, seed0):
+    from repro.parse import Importer
+    from repro.workloads.beffio_assets import input_xml
+    from repro.xmlio import parse_input_xml
+    importer = Importer(experiment, parse_input_xml(input_xml()))
+    with experiment.batch():
+        for i in range(n):
+            cfg = BeffIOConfig(technique="listless", filesystem="nfs",
+                               run_number=900 + i, seed=seed0 + i)
+            importer.import_text(BeffIOSimulator(cfg).generate(),
+                                 f"append_{i}.sum")
+
+
+class TestColdVsWarm:
+    def test_warm_suite_speedup(self, benchmark, cache_experiment):
+        cache = cache_experiment.query_cache()
+        cache.clear()
+        cold = run_suite(cache_experiment, cache)
+
+        warm = benchmark(lambda: run_suite(cache_experiment, cache))
+        assert warm == cold  # proof obligation: value identity
+        benchmark.extra_info["entries"] = cache.stat()["entries"]
+
+    def test_parallel_warm_identical(self, cache_experiment):
+        from repro.parallel import (ParallelQueryExecutor,
+                                    SimulatedCluster)
+        cache = cache_experiment.query_cache()
+        cache.clear()
+        cluster = SimulatedCluster(3)
+        executor = ParallelQueryExecutor(cluster)
+        query = parse_query_xml(fig8_query_xml())
+        cold, _ = executor.execute(query, cache_experiment,
+                                   cache=cache)
+        warm, stats = executor.execute(query, cache_experiment,
+                                       cache=cache)
+        assert stats.cache_hits == 5 and stats.cache_misses == 0
+        assert [a.content for a in warm.artifacts] \
+            == [a.content for a in cold.artifacts]
+        cluster.shutdown()
+
+
+class TestTrajectoryPoint:
+    def test_write_bench_json(self, cache_experiment):
+        """The PR-4 trajectory point: cold vs warm suite runs plus the
+        append-10-runs incremental re-query."""
+        cache = cache_experiment.query_cache()
+        cache.clear()
+
+        t0 = time.perf_counter()
+        cold_artifacts = run_suite(cache_experiment, cache)
+        cold_s = time.perf_counter() - t0
+
+        warm_s = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            warm_artifacts = run_suite(cache_experiment, cache)
+            warm_s = min(warm_s, time.perf_counter() - t0)
+        assert warm_artifacts == cold_artifacts
+
+        t0 = time.perf_counter()
+        nocache_artifacts = run_suite(cache_experiment, None)
+        nocache_s = time.perf_counter() - t0
+        assert nocache_artifacts == cold_artifacts
+
+        # the dominant workload: 10 new runs land, re-run the suite
+        append_runs(cache_experiment, 10, seed0=9000)
+        before = dict(cache.session)
+        t0 = time.perf_counter()
+        incr_artifacts = run_suite(cache_experiment, cache)
+        incr_s = time.perf_counter() - t0
+        incr_session = {k: cache.session[k] - before[k]
+                        for k in before}
+        fresh = run_suite(cache_experiment, None)
+        assert incr_artifacts == fresh  # updated result, not stale
+
+        point = {
+            "pr": 4,
+            "bench": "query_cache",
+            "runs": cache_experiment.n_runs(),
+            "suite_queries": len(query_suite()),
+            "cold_ms": round(cold_s * 1e3, 2),
+            "warm_ms": round(warm_s * 1e3, 2),
+            "uncached_ms": round(nocache_s * 1e3, 2),
+            "warm_speedup": round(cold_s / warm_s, 2),
+            "append10_requery_ms": round(incr_s * 1e3, 2),
+            "append10_speedup": round(cold_s / incr_s, 2),
+            "append10_cache_hits": incr_session["hits"],
+            "cache_entries": cache.stat()["entries"],
+            "cache_bytes": cache.stat()["bytes"],
+        }
+        BENCH_JSON.write_text(json.dumps(point, indent=2) + "\n")
+        report("query_cache",
+               f"{point['runs']} runs, {point['suite_queries']} "
+               f"queries: cold {point['cold_ms']}ms, warm "
+               f"{point['warm_ms']}ms (x{point['warm_speedup']}); "
+               f"append-10 re-query {point['append10_requery_ms']}ms "
+               f"(x{point['append10_speedup']}, "
+               f"{point['append10_cache_hits']} hits)\n")
+        assert point["warm_speedup"] >= 5.0
+        assert point["append10_speedup"] > 1.0

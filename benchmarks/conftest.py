@@ -45,12 +45,18 @@ def beffio_experiment(campaign):
 def large_experiment():
     """A programmatically-filled experiment large enough that query
     element times dominate scheduling overhead (for E3/E7/E8)."""
+    return build_large_experiment("beffio_large")
+
+
+def build_large_experiment(name):
+    """120 simulator-filled runs (used session-wide and by benches
+    that mutate their experiment and so need a private copy)."""
     from repro.core import RunData
     from repro.workloads.beffio import (BeffIOConfig, BeffIOSimulator,
                                         CHUNK_SIZES, PATTERNS)
     definition = parse_experiment_xml(experiment_xml())
     server = MemoryServer()
-    exp = Experiment.create(server, "beffio_large",
+    exp = Experiment.create(server, name,
                             list(definition.variables), definition.info)
     counter = 0
     for technique in ("listbased", "listless"):

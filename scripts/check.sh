@@ -31,3 +31,11 @@ echo "== batch storage path: bench smoke (writes benchmarks/BENCH_pr3.json) =="
 python -m pytest -q -p no:randomly --benchmark-disable \
     benchmarks/bench_scale_throughput.py::TestTrajectoryPoint
 test -s benchmarks/BENCH_pr3.json
+
+echo "== query cache: incremental engine markers (pytest -m qcache) =="
+python -m pytest -q -p no:randomly -m qcache tests
+
+echo "== query cache: bench smoke (writes benchmarks/BENCH_pr4.json) =="
+python -m pytest -q -p no:randomly --benchmark-disable \
+    benchmarks/bench_query_cache.py
+test -s benchmarks/BENCH_pr4.json

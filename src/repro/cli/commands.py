@@ -18,9 +18,10 @@ from ..status import (experiment_report, list_runs,
                       missing_sweep_points, show_run, show_variable)
 from ..xmlio import (experiment_to_xml, parse_experiment_xml,
                      parse_input_xml, parse_query_xml)
-from .common import (CommandError, add_dbdir_argument,
-                     add_experiment_argument, add_obs_arguments, echo,
-                     obs_session, open_experiment, open_server)
+from .common import (CommandError, add_cache_arguments,
+                     add_dbdir_argument, add_experiment_argument,
+                     add_obs_arguments, echo, obs_session,
+                     open_experiment, open_server, resolve_cli_cache)
 
 __all__ = ["register_all"]
 
@@ -119,6 +120,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     """Run a query specification against an experiment."""
     exp = open_experiment(args)
     query = parse_query_xml(args.query)
+    qcache = resolve_cli_cache(args, exp)
     with obs_session(args):
         if args.parallel > 1:
             from ..parallel import (ParallelQueryExecutor,
@@ -126,14 +128,21 @@ def cmd_query(args: argparse.Namespace) -> int:
             cluster = SimulatedCluster(args.parallel)
             executor = ParallelQueryExecutor(cluster)
             result, stats = executor.execute(query, exp,
-                                             profile=args.profile)
+                                             profile=args.profile,
+                                             cache=qcache)
             echo(f"parallel execution on {stats.n_nodes} nodes: "
                  f"{stats.wall_seconds * 1e3:.1f} ms wall, "
                  f"{stats.transfers} transfers, "
                  f"{stats.queue_wait_seconds * 1e3:.1f} ms queue wait")
             cluster.shutdown()
         else:
-            result = query.execute(exp, profile=args.profile)
+            result = query.execute(exp, profile=args.profile,
+                                   cache=qcache)
+    if qcache is not None:
+        session = qcache.session
+        echo(f"query cache: {session['hits']} hit(s), "
+             f"{session['misses']} miss(es), "
+             f"{session['stores']} store(s)")
     outdir = args.output or "."
     for path in result.write_all(outdir):
         echo(f"wrote {path}")
@@ -149,8 +158,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     from ..parallel import speedup_curve
     exp = open_experiment(args)
     query = parse_query_xml(args.query)
+    qcache = resolve_cli_cache(args, exp)
     with obs_session(args):
-        result = query.execute(exp, profile=True)
+        result = query.execute(exp, profile=True, cache=qcache)
     node_counts = [int(n) for n in (args.nodes or "1 2 4 8").split()]
     echo(f"query {query.name!r}: {len(query.elements)} elements, "
          f"DAG width {query.graph.width()}")
@@ -176,6 +186,7 @@ def _register_query(sub) -> None:
                    help="print per-element timing")
     p.add_argument("--parallel", type=int, default=1, metavar="N",
                    help="execute on a simulated N-node cluster")
+    add_cache_arguments(p)
     add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_query)
@@ -189,6 +200,7 @@ def _register_query(sub) -> None:
     p.add_argument("--nodes", metavar="'1 2 4 8'",
                    help="node counts to simulate "
                         "(space-separated, default '1 2 4 8')")
+    add_cache_arguments(p)
     add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_simulate)
@@ -655,6 +667,48 @@ def _register_dump(sub) -> None:
     p.set_defaults(func=cmd_trace)
 
 
+# -- cache (incremental query engine) -----------------------------------------
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear an experiment's persistent query cache."""
+    exp = open_experiment(args)
+    qcache = exp.query_cache()
+    if args.action == "clear":
+        n = qcache.clear()
+        echo(f"cleared {n} cached vector(s)")
+    else:
+        stat = qcache.stat()
+        echo(f"experiment: {exp.name}")
+        echo(f"  entries      : {stat['entries']}")
+        echo(f"  bytes        : {stat['bytes']}")
+        echo(f"  rows         : {stat['rows']}")
+        echo(f"  hits (total) : {stat['hits_total']}")
+        echo(f"  budget       : {stat['budget_bytes']} bytes")
+        echo(f"  data version : {stat['data_version']}")
+        if args.verbose:
+            for entry in qcache.entries():
+                echo(f"  {entry.element:<20} [{entry.kind}] "
+                     f"rows={entry.n_rows} bytes={entry.n_bytes} "
+                     f"hits={entry.hits} dv={entry.data_version} "
+                     f"query={entry.query_name or '-'}")
+    exp.close()
+    return 0
+
+
+def _register_cache(sub) -> None:
+    p = sub.add_parser(
+        "cache",
+        help="inspect or clear the persistent query cache")
+    p.add_argument("action", choices=("stat", "clear"),
+                   help="stat: show summary; clear: drop all entries")
+    add_experiment_argument(p)
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="list every cached entry (stat only)")
+    add_dbdir_argument(p)
+    p.set_defaults(func=cmd_cache)
+
+
 # -- trace analytics: explain / trace-diff / trace-view -----------------------
 
 
@@ -763,4 +817,5 @@ def register_all(sub) -> None:
     _register_admin(sub)
     _register_check(sub)
     _register_dump(sub)
+    _register_cache(sub)
     _register_obs(sub)

@@ -10,7 +10,8 @@ import sys
 from ..core.experiment import Experiment
 from ..db.sqlite_backend import SQLiteServer
 
-__all__ = ["add_dbdir_argument", "add_obs_arguments", "open_server",
+__all__ = ["add_dbdir_argument", "add_obs_arguments",
+           "add_cache_arguments", "resolve_cli_cache", "open_server",
            "open_experiment", "obs_session", "CommandError"]
 
 #: default database directory, overridable via environment (mirrors the
@@ -47,6 +48,35 @@ def open_experiment(args: argparse.Namespace) -> Experiment:
 
 def echo(message: str = "", end: str = "\n") -> None:
     sys.stdout.write(message + end)
+
+
+# -- query cache -------------------------------------------------------------
+
+
+def add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the incremental-engine flags of query-executing commands.
+
+    The CLI caches by default (re-running an analysis after an import
+    is perfbase's dominant workload); ``--no-cache`` forces a cold run.
+    """
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent query cache (force a cold run)")
+    parser.add_argument(
+        "--cache-budget", type=int, metavar="MB",
+        help="LRU byte budget of the query cache in MiB "
+             "(default 64)")
+
+
+def resolve_cli_cache(args: argparse.Namespace, experiment: Experiment):
+    """``cache=`` argument for ``Query.execute`` from the CLI flags."""
+    if getattr(args, "no_cache", False):
+        return None
+    budget = getattr(args, "cache_budget", None)
+    if budget is not None:
+        return experiment.query_cache(
+            budget_bytes=budget * 1024 * 1024)
+    return experiment.query_cache()
 
 
 # -- observability -----------------------------------------------------------

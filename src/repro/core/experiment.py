@@ -208,6 +208,29 @@ class Experiment:
     def n_runs(self) -> int:
         return self.store.n_runs()
 
+    # -- incremental query cache -------------------------------------------
+
+    def data_version(self) -> int:
+        """Monotonic counter bumped by every data mutation (imports,
+        deletes, schema evolution) — the query cache's invalidation
+        signal."""
+        return self.store.data_version()
+
+    def query_cache(self, *, budget_bytes: int | None = None
+                    ) -> "QueryCache":
+        """The experiment's persistent element-result cache.
+
+        Lives inside the experiment database (``pbc_`` tables +
+        ``pb_query_cache`` metadata), shared across processes.  Pass it
+        to ``Query.execute(cache=...)``/the parallel executor, or use
+        ``cache=True`` there for this default instance.
+        """
+        self._check(UserClass.QUERY, "use the query cache")
+        from ..query.cache import DEFAULT_BUDGET_BYTES, QueryCache
+        if budget_bytes is None:
+            budget_bytes = DEFAULT_BUDGET_BYTES
+        return QueryCache(self.store, budget_bytes=budget_bytes)
+
     # -- description -------------------------------------------------------
 
     def describe(self) -> dict[str, Any]:

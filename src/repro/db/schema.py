@@ -58,6 +58,9 @@ _FILES = "pb_run_files"
 _ONCE = "pb_once"
 #: index keeping the duplicate-import guard O(log n) at E9 scale
 _FILES_CHECKSUM_INDEX = "pb_run_files_checksum"
+#: pb_meta key of the monotonic per-experiment data version (bumped by
+#: every mutating entry point; read by the query cache for invalidation)
+_DATA_VERSION_KEY = "data_version"
 
 
 def _unit_to_json(unit: Unit) -> dict:
@@ -192,6 +195,7 @@ class ExperimentStore:
                              primary_key="run_index")
         self.set_meta("name", name)
         self.set_meta("schema_version", SCHEMA_VERSION)
+        self.set_meta(_DATA_VERSION_KEY, 0)
         self.db.commit()
 
     @property
@@ -223,6 +227,32 @@ class ExperimentStore:
             return default
         return json.loads(row[0])
 
+    # -- data version ------------------------------------------------------
+
+    def data_version(self) -> int:
+        """Monotonic counter of data mutations in this experiment.
+
+        Bumped by every mutating entry point — :meth:`store_run`
+        (serial and batched), :meth:`delete_run` and all four
+        schema-evolution operations — so a reader holding a version can
+        tell whether the experiment changed underneath it.  Databases
+        created before the counter existed report 0.
+        """
+        return int(self.get_meta(_DATA_VERSION_KEY, 0))
+
+    def bump_data_version(self, n: int = 1) -> int:
+        """Advance the data version by ``n`` without committing.
+
+        The surrounding mutation's commit (or rollback) covers the
+        bump, keeping it atomic with the data change it records.
+        """
+        new = self.data_version() + int(n)
+        self.db.execute(
+            f"INSERT INTO {_META} (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+            (_DATA_VERSION_KEY, json.dumps(new)))
+        return new
+
     # -- variable definitions --------------------------------------------
 
     def invalidate_variables_cache(self) -> None:
@@ -242,6 +272,7 @@ class ExperimentStore:
                 _VARS, ["name", "definition", "position"],
                 [(v.name, variable_to_json(v), i)
                  for i, v in enumerate(variables)])
+            self.bump_data_version()
             self.db.commit()
         finally:
             self.invalidate_variables_cache()
@@ -287,6 +318,7 @@ class ExperimentStore:
                         f"ALTER TABLE "
                         f"{quote_identifier(self.run_table(idx))} "
                         f"ADD COLUMN {col} {stype}")
+            self.bump_data_version()
             self.db.commit()
         finally:
             self.invalidate_variables_cache()
@@ -309,6 +341,7 @@ class ExperimentStore:
                         self.db.execute(
                             f"ALTER TABLE {quote_identifier(table)} "
                             f"DROP COLUMN {col}")
+            self.bump_data_version()
             self.db.commit()
         finally:
             self.invalidate_variables_cache()
@@ -332,6 +365,7 @@ class ExperimentStore:
             self.db.execute(
                 f"UPDATE {_VARS} SET definition=? WHERE name=?",
                 (variable_to_json(var), var.name))
+            self.bump_data_version()
             self.db.commit()
         finally:
             self.invalidate_variables_cache()
@@ -419,6 +453,7 @@ class ExperimentStore:
                 rows.append((index, fn, checksum))
             self.db.insert_rows(
                 _FILES, ["run_index", "filename", "checksum"], rows)
+        self.bump_data_version()
         self.db.commit()
         return index
 
@@ -537,6 +572,7 @@ class ExperimentStore:
         self.db.execute(
             f"DELETE FROM {_ONCE} WHERE run_index=?", (index,))
         self.db.drop_table(self.run_table(index))
+        self.bump_data_version()
         self.db.commit()
 
     def n_runs(self) -> int:
@@ -745,6 +781,11 @@ class BatchContext:
         try:
             if exc_type is None:
                 self.flush()
+                if self.indices:
+                    # one bump covering the whole batch — ends at the
+                    # same value as n serial bumps, so the stored bytes
+                    # stay identical to the serial path
+                    self.store.bump_data_version(len(self.indices))
                 self.db.commit()
             else:
                 try:

@@ -129,16 +129,25 @@ class SQLiteDatabase(Database):
     :meth:`attach` it and read its tables directly in SQL — the
     in-process equivalent of the paper's socket access to the frontend
     database server.  File-backed databases are always attachable.
+
+    ``autocommit`` makes every statement its own transaction.  Scratch
+    databases (the cluster node servers) use it so the read locks their
+    statements take on *attached* databases are released at statement
+    end — a lingering implicit transaction would otherwise block
+    writers of the attached experiment database (e.g. the query cache)
+    for as long as the connection stays idle.
     """
 
     def __init__(self, path: str = ":memory:", *,
-                 shared_name: str | None = None):
+                 shared_name: str | None = None,
+                 autocommit: bool = False):
         if shared_name is not None:
             self.uri = f"file:{shared_name}?mode=memory&cache=shared"
         else:
             self.uri = _to_uri(path)
-        self._conn = sqlite3.connect(self.uri, uri=True,
-                                     check_same_thread=False)
+        self._conn = sqlite3.connect(
+            self.uri, uri=True, check_same_thread=False,
+            isolation_level=None if autocommit else "")
         self._conn.execute("PRAGMA journal_mode=MEMORY")
         self._conn.execute("PRAGMA synchronous=OFF")
         self._lock = threading.RLock()

@@ -46,6 +46,9 @@ class ElementStats:
     bytes: int = 0
     #: cluster nodes this element ran on (empty for serial runs)
     nodes: set[int] = field(default_factory=set)
+    #: query-cache outcomes (zero when the run was uncached)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def annotation(self) -> str:
         parts = [f"calls={self.calls}",
@@ -57,6 +60,14 @@ class ElementStats:
         if self.nodes:
             parts.append("node=" + ",".join(
                 str(n) for n in sorted(self.nodes)))
+        if self.cache_hits or self.cache_misses:
+            if self.cache_misses == 0:
+                parts.append("cache=HIT")
+            elif self.cache_hits == 0:
+                parts.append("cache=MISS")
+            else:
+                parts.append(f"cache={self.cache_hits}xHIT/"
+                             f"{self.cache_misses}xMISS")
         return "(" + " ".join(parts) + ")"
 
 
@@ -94,6 +105,11 @@ def collect_element_stats(spans: Iterable[Span]
             st.cpu_seconds += span.cpu_seconds
             st.rows += span.rows
             st.bytes += subtree_bytes(span)
+            cache = span.attributes.get("cache")
+            if cache == "hit":
+                st.cache_hits += 1
+            elif cache == "miss":
+                st.cache_misses += 1
         elif span.kind == "node":
             element = span.attributes.get("element")
             if not element:

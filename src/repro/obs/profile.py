@@ -36,6 +36,8 @@ class ElementTiming:
     rows: int
     #: columns of the output vector (0 for output elements)
     cols: int = 0
+    #: whether this execution was served from the query cache
+    cached: bool = False
 
 
 @dataclass
@@ -99,14 +101,24 @@ class QueryProfile:
                     continue
             profile.record(span.name, span.kind,
                            span.wall_seconds, span.rows,
-                           int(span.attributes.get("cols", 0) or 0))
+                           int(span.attributes.get("cols", 0) or 0),
+                           cached=(span.attributes.get("cache")
+                                   == "hit"))
         return profile
 
     def record(self, name: str, kind: str, seconds: float,
-               rows: int, cols: int = 0) -> None:
+               rows: int, cols: int = 0, *,
+               cached: bool = False) -> None:
         with self._lock:
             self.timings.append(
-                ElementTiming(name, kind, seconds, rows, cols))
+                ElementTiming(name, kind, seconds, rows, cols, cached))
+
+    def cached_fraction(self) -> float:
+        """Fraction of element executions served from the query cache."""
+        if not self.timings:
+            return 0.0
+        return (sum(1 for t in self.timings if t.cached)
+                / len(self.timings))
 
     def timing_of(self, name: str) -> ElementTiming:
         for t in self.timings:

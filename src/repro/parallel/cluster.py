@@ -49,7 +49,11 @@ class SimulatedCluster:
                  interconnect: InterconnectModel = HIGH_SPEED):
         if n_nodes < 1:
             raise ValueError("cluster needs at least one node")
-        self.nodes = [ClusterNode(i, SQLiteDatabase(":memory:"))
+        # autocommit: node statements must not keep read locks on the
+        # attached experiment database once they finish (the query
+        # cache writes there while other nodes sit idle)
+        self.nodes = [ClusterNode(i, SQLiteDatabase(":memory:",
+                                                    autocommit=True))
                       for i in range(n_nodes)]
         self.interconnect = interconnect
         #: accumulated modelled transfer time (seconds)

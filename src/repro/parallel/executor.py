@@ -25,8 +25,10 @@ from ..core.access import UserClass
 from ..core.errors import QueryError
 from ..core.experiment import Experiment
 from ..obs.tracer import current_tracer, use_tracer
+from ..query.cache import (CacheEntry, QueryCache, cache_key,
+                           content_fingerprint)
 from ..query.elements import QueryContext
-from ..query.engine import Query, QueryResult
+from ..query.engine import Query, QueryResult, resolve_cache
 from ..query.vectors import DataVector
 from .cluster import SimulatedCluster, copy_vector
 from .profiling import QueryProfile
@@ -49,6 +51,9 @@ class ParallelRunStats:
     busy_seconds: float = 0.0
     #: summed time elements spent runnable-but-waiting for a worker
     queue_wait_seconds: float = 0.0
+    #: elements served from the query cache / executed cold
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def parallel_efficiency(self) -> float:
@@ -69,13 +74,66 @@ class ParallelQueryExecutor:
         self.apply_network_delay = apply_network_delay
 
     def execute(self, query: Query, experiment: Experiment, *,
-                profile: bool = False
+                profile: bool = False,
+                cache: "QueryCache | bool | None" = None
                 ) -> tuple[QueryResult, ParallelRunStats]:
-        """Execute ``query``; returns the result plus run statistics."""
+        """Execute ``query``; returns the result plus run statistics.
+
+        With ``cache`` the run is incremental: cached subgraphs are
+        resolved upfront from structural fingerprints and treated as
+        already-completed producers — the scheduler only places the
+        cold remainder.  Workers additionally try result-chained keys
+        just before executing (so after an import, elements whose
+        inputs turn out content-identical still hit) and store every
+        miss back into the shared cache.
+        """
         experiment.access.check(experiment.user, UserClass.QUERY,
                                 f"execute query {query.name!r}")
         graph = query.graph
-        placement = self.scheduler.place(graph, len(self.cluster))
+        qcache = resolve_cache(cache, experiment)
+
+        # -- upfront structural resolution (prune cached subgraphs) ----
+        data_version = 0
+        structural: dict[str, str] = {}
+        probed_misses: set[str] = set()
+        resolved: dict[str, CacheEntry] = {}
+        skipped: set[str] = set()
+        if qcache is not None:
+            # node connections may still hold open read transactions
+            # on the attached experiment database from a previous run
+            # (element SQL never commits); release them so the cache
+            # can create tables on the frontend
+            for node in self.cluster.nodes:
+                node.db.commit()
+            data_version = experiment.store.data_version()
+            qcache.prune_stale(data_version)
+            structural = graph.fingerprints(
+                {"experiment": experiment.name,
+                 "data_version": data_version})
+            plan: dict[str, object] = {}
+            for element in reversed(graph.topological_order()):
+                name = element.name
+                if not element.cacheable:
+                    plan[name] = "exec"
+                    continue
+                consumers = graph.consumers(name)
+                needed = (not consumers) or any(
+                    plan[c] == "exec" for c in consumers)
+                entry = qcache.lookup_structural(structural[name],
+                                                 count=needed)
+                if entry is not None:
+                    plan[name] = entry
+                    resolved[name] = entry
+                elif needed:
+                    plan[name] = "exec"
+                    probed_misses.add(structural[name])
+                else:
+                    plan[name] = "skip"
+                    skipped.add(name)
+
+        placement = self.scheduler.place(
+            graph, len(self.cluster),
+            skip=frozenset(resolved) | skipped)
         prof = QueryProfile(query_name=query.name) if profile else None
         stats = ParallelRunStats(n_nodes=len(self.cluster),
                                  scheduler=self.scheduler.name,
@@ -91,19 +149,50 @@ class ParallelQueryExecutor:
         transfer_base = self.cluster.transfer_seconds
         transfers_base = self.cluster.transfers
 
-        remaining = {name: set(element.inputs)
-                     for name, element in graph.elements.items()}
+        # cached subgraphs count as already-completed producers: their
+        # vectors (persistent pbc_ tables on the experiment database)
+        # are available to every node via the usual input shipping
+        for name, entry in resolved.items():
+            vectors[name] = qcache.load(entry)
+            stats.cache_hits += 1
+
+        remaining = {name: set(element.inputs) - set(resolved) - skipped
+                     for name, element in graph.elements.items()
+                     if name not in resolved and name not in skipped}
         done: set[str] = set()
         running: dict[Future, str] = {}
         errors: list[BaseException] = []
         busy = [0.0]
         queue_wait = [0.0]
         wait_lock = threading.Lock()
+        #: content hashes of completed producers (guarded by hash_lock)
+        hashes: dict[str, str | None] = {
+            name: entry.result_hash for name, entry in resolved.items()}
+        hash_lock = threading.Lock()
+        #: misses to persist once the run is over — storing means DDL
+        #: on the experiment database, which would deadlock against the
+        #: read locks concurrently-running workers hold on it
+        pending_puts: list[tuple[str, str, DataVector, str, int, int]] \
+            = []
 
         # Worker threads start in a fresh contextvars context, so the
         # tracer active here must be re-activated inside each worker,
         # with the run-root span as explicit parent for proper nesting.
         tracer = current_tracer()
+
+        def dynamic_entry(element) -> "tuple[str | None, CacheEntry | None]":
+            """Result-chained lookup right before execution."""
+            if qcache is None or not element.cacheable:
+                return None, None
+            with hash_lock:
+                input_hashes = [hashes.get(i) for i in element.inputs]
+            key = cache_key(element, input_hashes,
+                            data_version=data_version,
+                            experiment_name=experiment.name)
+            if key is None or key in probed_misses:
+                return key, None
+            return key, qcache.lookup(
+                key, refresh_skey=structural[element.name])
 
         def run_element(name: str, ready_at: float,
                         parent_span) -> None:
@@ -117,6 +206,25 @@ class ParallelQueryExecutor:
                 if tracer is not None:
                     tracer.metrics.histogram(
                         "parallel.queue_wait_seconds").observe(waited)
+                key, entry = dynamic_entry(element)
+                if entry is not None:
+                    # cache hit discovered mid-run: no shipping, no
+                    # execution — the cached vector acts as produced
+                    vector = qcache.load(entry)
+                    if tracer is not None:
+                        with tracer.span(name, kind=element.kind,
+                                         cache="hit") as span:
+                            span.attributes["rows"] = entry.n_rows
+                            span.attributes["cols"] = len(entry.columns)
+                    if prof is not None:
+                        prof.record(name, element.kind, 0.0,
+                                    entry.n_rows, len(entry.columns),
+                                    cached=True)
+                    with hash_lock:
+                        hashes[name] = entry.result_hash
+                        stats.cache_hits += 1
+                    vectors[name] = vector
+                    return
                 node_cm = (tracer.span(
                     f"node{node.index}", kind="node", element=name)
                     if tracer is not None else nullcontext())
@@ -127,8 +235,22 @@ class ParallelQueryExecutor:
                             vectors[input_name], node, self.cluster,
                             apply_delay=self.apply_network_delay)
                     start = time.perf_counter()
-                    vector = element.execute(ctx)
+                    vector = element.execute(
+                        ctx, span_attrs=(
+                            {"cache": "miss"}
+                            if qcache is not None and element.cacheable
+                            else None))
                     busy[0] += time.perf_counter() - start
+                if qcache is not None and element.cacheable \
+                        and vector is not None:
+                    rhash, n_rows, n_bytes = content_fingerprint(vector)
+                    with hash_lock:
+                        hashes[name] = rhash
+                        stats.cache_misses += 1
+                        if key is not None:
+                            pending_puts.append(
+                                (name, key, vector, rhash, n_rows,
+                                 n_bytes))
             if vector is not None:
                 vectors[name] = vector
 
@@ -167,6 +289,17 @@ class ParallelQueryExecutor:
                     for other in remaining.values():
                         other.discard(name)
                 submit_ready()
+        if qcache is not None and pending_puts:
+            # release the read locks held by the workers' element SQL
+            # before storing (DDL on the experiment database)
+            for node in self.cluster.nodes:
+                node.db.commit()
+            for name, key, vector, rhash, n_rows, n_bytes in \
+                    pending_puts:
+                qcache.put(key, structural[name], graph.elements[name],
+                           vector, result_hash=rhash, n_rows=n_rows,
+                           n_bytes=n_bytes, data_version=data_version,
+                           query_name=query.name)
         stats.wall_seconds = time.perf_counter() - start_wall
         stats.busy_seconds = busy[0]
         stats.queue_wait_seconds = queue_wait[0]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import abc
 import itertools
+from typing import AbstractSet
 
 from ..query.graph import QueryGraph
 
@@ -29,12 +30,19 @@ __all__ = ["Scheduler", "RoundRobinScheduler", "LevelScheduler",
 
 
 class Scheduler(abc.ABC):
-    """Maps every element name of a query graph to a node index."""
+    """Maps every element name of a query graph to a node index.
+
+    ``skip`` names elements that will not execute — the incremental
+    engine resolves cached subgraphs upfront and only the cold
+    remainder is placed, so cache hits free node capacity for the
+    elements that actually run.
+    """
 
     name: str = "scheduler"
 
     @abc.abstractmethod
-    def place(self, graph: QueryGraph, n_nodes: int) -> dict[str, int]:
+    def place(self, graph: QueryGraph, n_nodes: int, *,
+              skip: AbstractSet[str] = frozenset()) -> dict[str, int]:
         ...
 
 
@@ -43,10 +51,12 @@ class RoundRobinScheduler(Scheduler):
 
     name = "round-robin"
 
-    def place(self, graph: QueryGraph, n_nodes: int) -> dict[str, int]:
+    def place(self, graph: QueryGraph, n_nodes: int, *,
+              skip: AbstractSet[str] = frozenset()) -> dict[str, int]:
         counter = itertools.count()
         return {element.name: next(counter) % n_nodes
-                for element in graph.topological_order()}
+                for element in graph.topological_order()
+                if element.name not in skip}
 
 
 class LevelScheduler(Scheduler):
@@ -60,11 +70,13 @@ class LevelScheduler(Scheduler):
 
     name = "level"
 
-    def place(self, graph: QueryGraph, n_nodes: int) -> dict[str, int]:
+    def place(self, graph: QueryGraph, n_nodes: int, *,
+              skip: AbstractSet[str] = frozenset()) -> dict[str, int]:
         levels = graph.levels()
         by_level: dict[int, list[str]] = {}
         for name in sorted(levels):
-            by_level.setdefault(levels[name], []).append(name)
+            if name not in skip:
+                by_level.setdefault(levels[name], []).append(name)
         placement: dict[str, int] = {}
         for level in sorted(by_level):
             for i, name in enumerate(sorted(by_level[level])):
@@ -83,11 +95,13 @@ class LocalityScheduler(Scheduler):
 
     name = "locality"
 
-    def place(self, graph: QueryGraph, n_nodes: int) -> dict[str, int]:
+    def place(self, graph: QueryGraph, n_nodes: int, *,
+              skip: AbstractSet[str] = frozenset()) -> dict[str, int]:
         levels = graph.levels()
         by_level: dict[int, list[str]] = {}
         for name in sorted(levels):
-            by_level.setdefault(levels[name], []).append(name)
+            if name not in skip:
+                by_level.setdefault(levels[name], []).append(name)
         placement: dict[str, int] = {}
         for level in sorted(by_level):
             spread = itertools.count()

@@ -1,9 +1,11 @@
 """Query subsystem: source/operator/combiner/output elements, the query
 graph and the serial execution engine (paper Section 3.3 / Fig. 2)."""
 
+from .cache import (CacheEntry, QueryCache, cache_key,
+                    content_fingerprint, DEFAULT_BUDGET_BYTES)
 from .combiner import Combiner
 from .elements import QueryContext, QueryElement
-from .engine import Query, QueryResult
+from .engine import Query, QueryResult, resolve_cache
 from .graph import QueryGraph
 from .operators import (ALL_OPERATORS, ARITHMETIC, Operator, REDUCTIONS,
                         STATISTICAL, TWO_VECTOR)
@@ -12,6 +14,8 @@ from .source import ParameterSpec, RunFilter, Source
 from .vectors import ColumnInfo, DataVector
 
 __all__ = [
+    "CacheEntry", "QueryCache", "cache_key", "content_fingerprint",
+    "DEFAULT_BUDGET_BYTES", "resolve_cache",
     "Combiner", "QueryContext", "QueryElement", "Query", "QueryResult",
     "QueryGraph", "ALL_OPERATORS", "ARITHMETIC", "Operator", "REDUCTIONS",
     "STATISTICAL", "TWO_VECTOR", "Output", "ParameterSpec", "RunFilter",

@@ -35,6 +35,14 @@ class Combiner(QueryElement):
         super().__init__(name, list(inputs))
         self.keep_duplicate_parameters = keep_duplicate_parameters
 
+    def spec(self) -> dict:
+        spec = super().spec()
+        spec["keep_duplicate_parameters"] = self.keep_duplicate_parameters
+        # the disambiguation suffix of duplicate result columns uses the
+        # producing elements' names, so they are part of the output shape
+        spec["producer_names"] = list(self.inputs)
+        return spec
+
     def run(self, ctx: QueryContext) -> DataVector:
         self._require_inputs(2, 2)
         left, right = self.input_vectors(ctx)

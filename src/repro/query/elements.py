@@ -10,8 +10,11 @@ common base class".
 from __future__ import annotations
 
 import abc
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
 
 from ..core.errors import QueryError
 from ..core.experiment import Experiment
@@ -61,6 +64,9 @@ class QueryElement(abc.ABC):
 
     #: subclass tag used by the XML parser and progress display
     kind: str = "element"
+    #: whether the incremental engine may cache this element's output
+    #: vector (output elements render artefacts instead and always run)
+    cacheable: bool = True
 
     def __init__(self, name: str, inputs: list[str] | None = None):
         if not name:
@@ -73,16 +79,54 @@ class QueryElement(abc.ABC):
         """Produce this element's output vector (or, for output
         elements, a rendered artefact registered on the query)."""
 
-    def execute(self, ctx: QueryContext) -> DataVector | None:
+    # -- fingerprinting ----------------------------------------------------
+
+    def spec(self) -> dict[str, Any]:
+        """JSON-able description of this element's own configuration.
+
+        Subclasses extend the base dict with every attribute that
+        influences their output vector — the foundation of the
+        incremental engine's content addressing.  Two elements with
+        equal specs and equal producers compute the same thing.
+        """
+        return {"type": type(self).__name__, "kind": self.kind,
+                "name": self.name}
+
+    def fingerprint(self, producers: Sequence[str] = (),
+                    extra: Mapping[str, Any] | None = None) -> str:
+        """Stable address of this element's computation.
+
+        A SHA-256 over the element's own :meth:`spec` combined with the
+        fingerprints of its producers (Merkle-style — one hash
+        addresses the whole subgraph that feeds this element).
+        ``extra`` folds additional state into the hash; the incremental
+        engine passes the experiment identity and data version for
+        source elements, and content hashes of the actual input vectors
+        for downstream elements.
+        """
+        payload: dict[str, Any] = {"spec": self.spec(),
+                                   "producers": list(producers)}
+        if extra:
+            payload["extra"] = dict(extra)
+        blob = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"), default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def execute(self, ctx: QueryContext, *,
+                span_attrs: Mapping[str, Any] | None = None
+                ) -> DataVector | None:
         """Run with timing; stores the vector in the context.
 
         When a tracer is active, the execution is recorded as a span of
         this element's kind carrying row/column counters — the unit the
         Section 4.3 source-fraction analysis is computed from.
+        ``span_attrs`` adds extra span attributes (the incremental
+        engine marks executed elements with ``cache="miss"``).
         """
         tracer = current_tracer()
         if tracer is not None:
-            with tracer.span(self.name, kind=self.kind) as span:
+            with tracer.span(self.name, kind=self.kind,
+                             **dict(span_attrs or {})) as span:
                 vector = self.run(ctx)
                 if vector is not None or ctx.profile is not None:
                     span.attributes["rows"] = (

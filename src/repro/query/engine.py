@@ -5,10 +5,18 @@ experiment, exactly the way Section 4.2 describes: all temp tables live
 in the experiment's own database and elements run one after another in
 topological order.  The parallel executor (:mod:`repro.parallel`)
 reuses the same elements with per-node databases.
+
+With a :class:`~repro.query.cache.QueryCache` the engine becomes
+*incremental*: element results are looked up by content-addressed
+fingerprints before running, cached subgraphs are pruned (a structural
+hit skips the element and all of its exclusive ancestors), and misses
+are stored for the next run.  See :mod:`repro.query.cache` for the
+fingerprint and invalidation scheme.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -16,13 +24,14 @@ from ..core.access import UserClass
 from ..core.experiment import Experiment
 from ..db.temptables import TempTableManager
 from ..obs.profile import QueryProfile
-from ..obs.tracer import maybe_span
+from ..obs.tracer import current_tracer, maybe_span
 from ..output.base import Artifact
+from .cache import CacheEntry, QueryCache, cache_key, content_fingerprint
 from .elements import QueryContext, QueryElement
 from .graph import QueryGraph
 from .vectors import DataVector
 
-__all__ = ["Query", "QueryResult"]
+__all__ = ["Query", "QueryResult", "resolve_cache"]
 
 
 @dataclass
@@ -40,11 +49,28 @@ class QueryResult:
         for a in self.artifacts:
             if a.name == name:
                 return a
-        raise KeyError(name)
+        available = ", ".join(sorted(a.name for a in self.artifacts))
+        raise KeyError(
+            f"no artifact named {name!r} "
+            f"(available: {available or 'none'})")
 
     def write_all(self, directory: str) -> list[str]:
         """Write every artefact below ``directory``; returns paths."""
         return [a.write_to(directory) for a in self.artifacts]
+
+
+def resolve_cache(cache: "QueryCache | bool | None",
+                  experiment: Experiment) -> QueryCache | None:
+    """Normalise the ``cache=`` argument of the execution entry points.
+
+    ``None``/``False`` disable caching, ``True`` uses the experiment's
+    default cache, a :class:`QueryCache` instance is used as given.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return experiment.query_cache()
+    return cache
 
 
 class Query:
@@ -61,15 +87,24 @@ class Query:
 
     def execute(self, experiment: Experiment, *,
                 profile: bool = False,
-                keep_temp_tables: bool = False) -> QueryResult:
+                keep_temp_tables: bool = False,
+                cache: "QueryCache | bool | None" = None) -> QueryResult:
         """Run the query serially against ``experiment``.
 
         The acting user needs query access.  Temp tables are dropped on
         completion unless ``keep_temp_tables`` (final vectors are then
         still readable by the caller, e.g. for tests).
+
+        ``cache`` turns on the incremental engine: pass ``True`` for
+        the experiment's default :class:`QueryCache` or an instance
+        with its own byte budget.  Cached element vectors live in
+        persistent ``pbc_`` tables of the experiment database, so they
+        survive this process and stay readable after temp-table
+        cleanup.  Warm results are value-identical to cold ones.
         """
         experiment.access.check(experiment.user, UserClass.QUERY,
                                 f"execute query {self.name!r}")
+        qcache = resolve_cache(cache, experiment)
         db = experiment.store.db
         temptables = TempTableManager(db, prefix=f"pbq_{_safe(self.name)}")
         prof = QueryProfile(query_name=self.name) if profile else None
@@ -79,8 +114,11 @@ class Query:
         try:
             with maybe_span(self.name, kind="query", mode="serial",
                             elements=len(self.graph.elements)):
-                for element in self.graph.topological_order():
-                    element.execute(ctx)
+                if qcache is None:
+                    for element in self.graph.topological_order():
+                        element.execute(ctx)
+                else:
+                    self._execute_cached(ctx, qcache, experiment)
             for output in self.graph.outputs:
                 result.artifacts.extend(output.artifacts)
             result.vectors = dict(ctx.vectors)
@@ -88,6 +126,103 @@ class Query:
             if not keep_temp_tables:
                 temptables.drop_all()
         return result
+
+    # -- incremental execution ---------------------------------------------
+
+    def _execute_cached(self, ctx: QueryContext, qcache: QueryCache,
+                        experiment: Experiment) -> None:
+        """Topological execution with content-addressed pruning.
+
+        Phase 1 resolves *structural* fingerprints in reverse
+        topological order: a hit installs the cached vector and lets
+        the element's exclusive ancestors be skipped entirely.  Phase 2
+        executes the cold remainder forward, trying *result-chained*
+        keys first (so after an import, elements whose inputs turn out
+        content-identical still hit) and storing every miss.
+        """
+        graph = self.graph
+        data_version = experiment.store.data_version()
+        qcache.prune_stale(data_version)
+        structural = graph.fingerprints(
+            {"experiment": experiment.name,
+             "data_version": data_version})
+        topo = graph.topological_order()
+
+        plan: dict[str, object] = {}
+        probed_misses: set[str] = set()
+        for element in reversed(topo):
+            name = element.name
+            if not element.cacheable:
+                plan[name] = "exec"
+                continue
+            consumers = graph.consumers(name)
+            needed = (not consumers) or any(
+                plan[c] == "exec" for c in consumers)
+            entry = qcache.lookup_structural(structural[name],
+                                             count=needed)
+            if entry is not None:
+                plan[name] = entry
+            elif needed:
+                plan[name] = "exec"
+                probed_misses.add(structural[name])
+            else:
+                # unneeded and uncached: an exclusive ancestor of a
+                # cached subgraph — skipped without execution
+                plan[name] = "skip"
+
+        hashes: dict[str, str | None] = {}
+        for element in topo:
+            name = element.name
+            planned = plan[name]
+            if planned == "skip":
+                hashes[name] = None
+                continue
+            if isinstance(planned, CacheEntry):
+                self._install_hit(ctx, element, planned, qcache)
+                hashes[name] = planned.result_hash
+                continue
+            key = cache_key(element,
+                            [hashes.get(i) for i in element.inputs],
+                            data_version=data_version,
+                            experiment_name=experiment.name)
+            if key is not None and key not in probed_misses:
+                entry = qcache.lookup(key,
+                                      refresh_skey=structural[name])
+                if entry is not None:
+                    self._install_hit(ctx, element, entry, qcache)
+                    hashes[name] = entry.result_hash
+                    continue
+            vector = element.execute(
+                ctx, span_attrs=({"cache": "miss"}
+                                 if element.cacheable else None))
+            if vector is None or not element.cacheable:
+                continue
+            rhash, n_rows, n_bytes = content_fingerprint(vector)
+            hashes[name] = rhash
+            if key is not None:
+                qcache.put(key, structural[name], element, vector,
+                           result_hash=rhash, n_rows=n_rows,
+                           n_bytes=n_bytes,
+                           data_version=data_version,
+                           query_name=self.name)
+
+    @staticmethod
+    def _install_hit(ctx: QueryContext, element: QueryElement,
+                     entry: CacheEntry, qcache: QueryCache) -> None:
+        start = time.perf_counter()
+        vector = qcache.load(entry)
+        ctx.vectors[element.name] = vector
+        elapsed = time.perf_counter() - start
+        tracer = current_tracer()
+        if tracer is not None:
+            with tracer.span(element.name, kind=element.kind,
+                             cache="hit") as span:
+                span.attributes["rows"] = entry.n_rows
+                span.attributes["cols"] = len(entry.columns)
+        if ctx.profile is not None:
+            ctx.profile.record(element.name, element.kind, elapsed,
+                               entry.n_rows, len(entry.columns),
+                               cached=True)
 
 
 def _safe(name: str) -> str:

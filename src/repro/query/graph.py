@@ -121,5 +121,23 @@ class QueryGraph:
     def consumers(self, name: str) -> list[str]:
         return sorted(self.graph.successors(name))
 
+    def fingerprints(self, source_extra: dict | None = None
+                     ) -> dict[str, str]:
+        """Structural fingerprint of every element (Merkle-style).
+
+        Each fingerprint hashes the element's own spec with the
+        fingerprints of its producers, so one hash addresses a whole
+        subgraph.  ``source_extra`` is folded into the fingerprints of
+        input-free elements (the incremental engine passes the
+        experiment identity and data version there, which propagates to
+        every downstream fingerprint).
+        """
+        fps: dict[str, str] = {}
+        for element in self.topological_order():
+            extra = source_extra if not element.inputs else None
+            fps[element.name] = element.fingerprint(
+                [fps[i] for i in element.inputs], extra)
+        return fps
+
     def __len__(self) -> int:
         return len(self.elements)

@@ -166,6 +166,25 @@ class Operator(QueryElement):
         self.result_name = result_name
         self.use_sql = use_sql
 
+    # -- fingerprinting ----------------------------------------------------
+
+    def spec(self) -> dict:
+        from ..db.schema import _unit_to_json
+        spec = super().spec()
+        spec.update({
+            "op": self.op,
+            "expression": (None if self.expression is None
+                           else self.expression.source),
+            "factor": self.factor,
+            "summand": self.summand,
+            "mode": self.mode,
+            "unit": (None if self.unit is None
+                     else _unit_to_json(self.unit)),
+            "result_name": self.result_name,
+            "use_sql": self.use_sql,
+        })
+        return spec
+
     # -- mode dispatch --------------------------------------------------
 
     def run(self, ctx: QueryContext) -> DataVector:

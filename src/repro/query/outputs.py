@@ -20,6 +20,9 @@ class Output(QueryElement):
     """
 
     kind = "output"
+    #: outputs render artefacts instead of producing a vector — the
+    #: incremental engine always executes them (on cached inputs)
+    cacheable = False
 
     def __init__(self, name: str, inputs: Sequence[str] = (), *,
                  format: str = "ascii",
@@ -29,6 +32,13 @@ class Output(QueryElement):
         self.options = dict(options or {})
         self.options.setdefault("filename", name)
         self.artifacts: list[Artifact] = []
+
+    def spec(self) -> dict:
+        spec = super().spec()
+        spec["format"] = self.format_name
+        spec["options"] = {k: str(v) for k, v in
+                           sorted(self.options.items())}
+        return spec
 
     def run(self, ctx: QueryContext) -> DataVector | None:
         self._require_inputs(1)

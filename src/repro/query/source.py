@@ -36,6 +36,17 @@ _OPS = {"==": "=", "=": "=", "!=": "<>", "<>": "<>",
         "<": "<", "<=": "<=", ">": ">", ">=": ">=", "like": "LIKE"}
 
 
+def _spec_value(value: Any) -> Any:
+    """Canonical JSON-able form of a filter value for fingerprinting."""
+    if isinstance(value, datetime):
+        return value.isoformat()
+    if isinstance(value, (set, frozenset)):
+        return sorted((_spec_value(v) for v in value), key=repr)
+    if isinstance(value, (list, tuple)):
+        return [_spec_value(v) for v in value]
+    return value
+
+
 @dataclass
 class ParameterSpec:
     """One ``<parameter>`` element of a source definition.
@@ -106,6 +117,26 @@ class Source(QueryElement):
         if not self.results:
             raise QueryError(
                 f"source {name!r} needs at least one result value")
+
+    # -- fingerprinting ----------------------------------------------------
+
+    def spec(self) -> dict[str, Any]:
+        spec = super().spec()
+        spec.update({
+            "parameters": [[s.name, s.op, _spec_value(s.value),
+                            bool(s.show)] for s in self.parameters],
+            "results": list(self.results),
+            "runs": None if self.runs is None else {
+                "indices": (None if self.runs.indices is None
+                            else [int(i) for i in self.runs.indices]),
+                "min_index": self.runs.min_index,
+                "max_index": self.runs.max_index,
+                "since": _spec_value(self.runs.since),
+                "until": _spec_value(self.runs.until),
+            },
+            "include_run_index": self.include_run_index,
+        })
+        return spec
 
     # -- helpers ---------------------------------------------------------
 

@@ -137,3 +137,80 @@ class TestCollectElementStats:
         assert st.calls == 1 and st.rows == 7
         assert "node=1" in st.annotation()
         assert "bytes=128" in st.annotation()
+
+
+class TestExplainCacheAnnotations:
+    """EXPLAIN ANALYZE with the incremental engine's cache outcomes."""
+
+    CACHE_GOLDEN = os.path.join(os.path.dirname(__file__), "data",
+                                "explain_fig8_cache.golden")
+
+    @staticmethod
+    def cache_spans():
+        """A deterministic warm-ish trace: both sources re-executed
+        after an import, max_new hit through the result chain."""
+        def el(span_id, name, kind, start, end, rows, cache):
+            return Span(span_id, 1, name, kind=kind, start=start,
+                        end=end, cpu_start=start, cpu_end=end,
+                        attributes={"rows": rows, "cache": cache})
+        return [
+            Span(1, None, "fig8_listless_vs_listbased", kind="query",
+                 start=0.0, end=1.0, cpu_start=0.0, cpu_end=0.9),
+            el(2, "src_new", "source", 0.00, 0.20, 16, "miss"),
+            el(3, "src_old", "source", 0.20, 0.40, 16, "miss"),
+            el(4, "max_new", "operator", 0.40, 0.41, 8, "hit"),
+            el(5, "max_old", "operator", 0.41, 0.61, 8, "miss"),
+            el(6, "reldiff", "operator", 0.61, 0.81, 8, "miss"),
+            Span(7, 1, "chart", kind="output", start=0.81, end=0.86,
+                 cpu_start=0.81, cpu_end=0.86, attributes={"rows": 0}),
+            Span(8, 1, "table", kind="output", start=0.86, end=0.91,
+                 cpu_start=0.86, cpu_end=0.91, attributes={"rows": 0}),
+            Span(9, 1, "bars", kind="output", start=0.91, end=0.96,
+                 cpu_start=0.91, cpu_end=0.96, attributes={"rows": 0}),
+        ]
+
+    def test_matches_cache_golden_file(self, fig8_query):
+        text = explain(fig8_query, self.cache_spans())
+        with open(self.CACHE_GOLDEN, encoding="utf-8") as fh:
+            assert text == fh.read()
+
+    def test_hit_and_miss_rendered(self, fig8_query):
+        text = explain(fig8_query, self.cache_spans())
+        assert "cache=HIT" in text
+        assert "cache=MISS" in text
+        # outputs carry no cache attribute -> no cache annotation
+        chart_line = next(l for l in text.splitlines()
+                          if l.startswith("chart "))
+        assert "cache" not in chart_line
+
+    def test_uncached_trace_unchanged(self, fig8_query):
+        spans = [s for s in self.cache_spans()]
+        for s in spans:
+            s.attributes.pop("cache", None)
+        assert "cache=" not in explain(fig8_query, spans)
+
+    def test_mixed_outcomes_aggregate(self):
+        spans = [
+            Span(1, None, "s", kind="source", start=0.0, end=0.1,
+                 attributes={"cache": "miss"}),
+            Span(2, None, "s", kind="source", start=0.2, end=0.3,
+                 attributes={"cache": "hit"}),
+        ]
+        st = collect_element_stats(spans)["s"]
+        assert st.cache_hits == 1 and st.cache_misses == 1
+        assert "cache=1xHIT/1xMISS" in st.annotation()
+
+    def test_real_cached_run_annotates(self, beffio_experiment,
+                                       fig8_query):
+        cache = beffio_experiment.query_cache()
+        tracer = Tracer(InMemorySink())
+        with use_tracer(tracer):
+            fig8_query.execute(beffio_experiment, cache=cache)
+            fig8_query.execute(beffio_experiment, cache=cache)
+        tracer.close()
+        text = explain(fig8_query, tracer.spans)
+        for name in ("src_new", "src_old", "max_new", "max_old",
+                     "reldiff"):
+            line = next(l for l in text.splitlines()
+                        if name in l and "cache=" in l)
+            assert "1xHIT/1xMISS" in line

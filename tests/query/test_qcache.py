@@ -1,0 +1,376 @@
+"""Incremental query engine: the content-addressed element-result
+cache (warm/cold identity, invalidation, eviction, concurrency)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Parameter, RunData
+from repro.core import DataType, Occurrence
+from repro.obs import InMemorySink, Tracer, use_tracer
+from repro.query import (DEFAULT_BUDGET_BYTES, Combiner, Operator,
+                         Output, ParameterSpec, Query, QueryCache,
+                         RunFilter, Source, cache_key,
+                         content_fingerprint)
+from repro.query.cache import CACHE_PREFIX, CACHE_TABLE
+
+from ..conftest import fill_simple, make_simple_experiment
+
+pytestmark = pytest.mark.qcache
+
+
+def build_query(name="q", *, max_new=None):
+    """Two filtered sources -> avg -> combine -> csv output."""
+    s1 = Source("s1",
+                parameters=[ParameterSpec("technique", "new", "==",
+                                          False)],
+                results=["bw"], runs=RunFilter(max_index=max_new))
+    s2 = Source("s2",
+                parameters=[ParameterSpec("technique", "old", "==",
+                                          False)],
+                results=["bw"], runs=RunFilter())
+    a1 = Operator("a1", op="avg", inputs=["s1"])
+    a2 = Operator("a2", op="avg", inputs=["s2"])
+    c = Combiner("c", inputs=["a1", "a2"])
+    o = Output("o", inputs=["c"], format="csv")
+    return Query([s1, s2, a1, a2, c, o], name=name)
+
+
+def vector_rows(result):
+    return {name: vector.rows()
+            for name, vector in result.vectors.items()}
+
+
+@pytest.fixture
+def exp(server):
+    return fill_simple(make_simple_experiment(server))
+
+
+@pytest.fixture
+def cache(exp):
+    return exp.query_cache()
+
+
+class TestFingerprints:
+    def test_stable_across_instances(self):
+        fp1 = build_query().graph.fingerprints({"data_version": 1})
+        fp2 = build_query().graph.fingerprints({"data_version": 1})
+        assert fp1 == fp2
+
+    def test_sensitive_to_spec(self):
+        base = build_query().graph.fingerprints({"data_version": 1})
+        changed = build_query(max_new=2).graph.fingerprints(
+            {"data_version": 1})
+        # s1's run filter changed: s1 and its consumers differ,
+        # the untouched s2 subgraph keeps its fingerprints
+        assert changed["s1"] != base["s1"]
+        assert changed["a1"] != base["a1"]
+        assert changed["c"] != base["c"]
+        assert changed["s2"] == base["s2"]
+        assert changed["a2"] == base["a2"]
+
+    def test_data_version_reaches_every_element(self):
+        v1 = build_query().graph.fingerprints({"data_version": 1})
+        v2 = build_query().graph.fingerprints({"data_version": 2})
+        assert all(v1[name] != v2[name] for name in v1)
+
+    def test_outputs_are_uncacheable(self):
+        query = build_query()
+        assert not query.elements["o"].cacheable
+        assert cache_key(query.elements["o"], [],
+                         data_version=0, experiment_name="x") is None
+
+    def test_unknown_input_hash_disables_key(self):
+        query = build_query()
+        assert cache_key(query.elements["a1"], [None],
+                         data_version=0, experiment_name="x") is None
+
+
+class TestDataVersion:
+    def test_store_run_bumps(self, exp):
+        before = exp.data_version()
+        exp.store_run(RunData(once={"technique": "new", "fs": "ufs"},
+                              datasets=[{"S_chunk": 32,
+                                         "access": "read", "bw": 1.0}]))
+        assert exp.data_version() == before + 1
+
+    def test_delete_run_bumps(self, exp):
+        before = exp.data_version()
+        exp.delete_run(exp.run_indices()[0])
+        assert exp.data_version() == before + 1
+
+    def test_schema_evolution_bumps(self, exp):
+        before = exp.data_version()
+        exp.add_variable(Parameter("extra", datatype=DataType.FLOAT,
+                                   occurrence=Occurrence.ONCE))
+        assert exp.data_version() == before + 1
+        exp.remove_variable("extra")
+        assert exp.data_version() == before + 2
+
+    def test_batch_bumps_once_per_run(self, server):
+        serial = fill_simple(make_simple_experiment(server, "srl"))
+        batched = make_simple_experiment(server, "bat")
+        with batched.store.batch():
+            fill_simple(batched)
+        assert batched.data_version() == serial.data_version()
+
+
+class TestWarmColdIdentity:
+    def test_serial_values_identical(self, exp, cache):
+        cold = build_query().execute(exp, keep_temp_tables=True,
+                                     cache=cache)
+        assert cache.session["stores"] == 5
+        assert cache.session["hits"] == 0
+        cold_rows = vector_rows(cold)
+
+        warm = build_query().execute(exp, cache=cache)
+        assert cache.session["hits"] == 5
+        assert vector_rows(warm) == cold_rows
+        assert (warm.artifact("o.csv").content
+                == cold.artifact("o.csv").content)
+
+    def test_cache_off_by_default(self, exp):
+        build_query().execute(exp)
+        assert not exp.store.db.table_exists(CACHE_TABLE)
+
+    def test_third_run_still_hits(self, exp, cache):
+        build_query().execute(exp, cache=cache)
+        build_query().execute(exp, cache=cache)
+        before = dict(cache.session)
+        build_query().execute(exp, cache=cache)
+        assert cache.session["hits"] == before["hits"] + 5
+        assert cache.session["stores"] == before["stores"]
+
+    def test_cache_true_uses_experiment_default(self, exp):
+        build_query().execute(exp, cache=True)
+        warm = build_query().execute(exp, cache=True)
+        assert exp.store.db.table_exists(CACHE_TABLE)
+        assert vector_rows(warm)  # hits produce readable vectors
+
+    def test_hits_marked_in_profile(self, exp, cache):
+        build_query().execute(exp, cache=cache)
+        warm = build_query().execute(exp, cache=cache, profile=True)
+        cached = {t.name for t in warm.profile.timings if t.cached}
+        assert cached == {"s1", "s2", "a1", "a2", "c"}
+        # the (uncacheable) output element always renders cold
+        assert warm.profile.cached_fraction() == pytest.approx(5 / 6)
+
+
+class TestInvalidation:
+    def test_import_reexecutes_affected(self, exp, cache):
+        cold = build_query().execute(exp, cache=cache)
+        exp.store_run(RunData(once={"technique": "old", "fs": "ufs"},
+                              datasets=[{"S_chunk": 32,
+                                         "access": "write",
+                                         "bw": 999.0}]))
+        post = build_query().execute(exp, keep_temp_tables=True,
+                                     cache=cache)
+        # the new run flows into the result (no stale serving)
+        assert post.artifact("o.csv").content \
+            != cold.artifact("o.csv").content
+        uncached = build_query().execute(exp, keep_temp_tables=True)
+        assert vector_rows(post) == vector_rows(uncached)
+
+    def test_untouched_subgraph_still_hits(self, exp, cache):
+        # s1 bounded to existing runs: an import elsewhere leaves its
+        # content identical, so a1 hits through the result chain
+        q = lambda: build_query(max_new=5)
+        q().execute(exp, cache=cache)
+        exp.store_run(RunData(once={"technique": "old", "fs": "ufs"},
+                              datasets=[{"S_chunk": 32,
+                                         "access": "write",
+                                         "bw": 999.0}]))
+        before = dict(cache.session)
+        q().execute(exp, cache=cache)
+        delta = {k: cache.session[k] - before[k] for k in before}
+        # a1 hits; s1/s2 re-execute (version in key), a2/c re-execute
+        # (a2's input content changed)
+        assert delta["hits"] == 1
+        assert delta["stores"] == 4
+
+    def test_skey_refresh_restores_structural_hits(self, exp, cache):
+        q = lambda: build_query(max_new=5)
+        q().execute(exp, cache=cache)
+        exp.store_run(RunData(once={"technique": "old", "fs": "ufs"},
+                              datasets=[{"S_chunk": 32,
+                                         "access": "write",
+                                         "bw": 999.0}]))
+        q().execute(exp, cache=cache)
+        before = dict(cache.session)
+        q().execute(exp, cache=cache)
+        delta = {k: cache.session[k] - before[k] for k in before}
+        assert delta == {"hits": 5, "misses": 0, "stores": 0,
+                         "evictions": 0}
+
+    def test_modify_variable_invalidates(self, exp, cache):
+        build_query().execute(exp, cache=cache)
+        before_version = exp.data_version()
+        changed = Parameter("technique", datatype=DataType.STRING,
+                            synopsis="renamed variant")
+        exp.modify_variable(changed)
+        assert exp.data_version() == before_version + 1
+        before = dict(cache.session)
+        post = build_query().execute(exp, keep_temp_tables=True,
+                                     cache=cache)
+        assert cache.session["stores"] > before["stores"]
+        uncached = build_query().execute(exp, keep_temp_tables=True)
+        assert vector_rows(post) == vector_rows(uncached)
+
+    def test_delete_run_invalidates(self, exp, cache):
+        cold = build_query().execute(exp, keep_temp_tables=True,
+                                     cache=cache)
+        exp.delete_run(exp.run_indices()[0])
+        post = build_query().execute(exp, keep_temp_tables=True,
+                                     cache=cache)
+        uncached = build_query().execute(exp, keep_temp_tables=True)
+        assert vector_rows(post) == vector_rows(uncached)
+        assert post.artifact("o.csv").content \
+            != cold.artifact("o.csv").content
+
+    def test_schema_evolution_invalidates(self, exp, cache):
+        build_query().execute(exp, cache=cache)
+        exp.add_variable(Parameter("extra", datatype=DataType.FLOAT,
+                                   occurrence=Occurrence.ONCE))
+        before = dict(cache.session)
+        post = build_query().execute(exp, keep_temp_tables=True,
+                                     cache=cache)
+        assert cache.session["misses"] > before["misses"]
+        uncached = build_query().execute(exp, keep_temp_tables=True)
+        assert vector_rows(post) == vector_rows(uncached)
+
+    def test_prune_stale_drops_old_source_entries(self, exp, cache):
+        build_query().execute(exp, cache=cache)
+        exp.store_run(RunData(once={"technique": "new", "fs": "ufs"},
+                              datasets=[{"S_chunk": 32,
+                                         "access": "read",
+                                         "bw": 7.0}]))
+        dropped = cache.prune_stale()
+        assert dropped == 2  # both source entries are unreachable
+        kinds = {e.kind for e in cache.entries()}
+        assert "source" not in kinds
+
+
+class TestEviction:
+    def test_lru_under_byte_budget(self, exp):
+        cold = build_query().execute(exp, cache=exp.query_cache())
+        full = exp.query_cache().stat()["bytes"]
+        exp.query_cache().clear()
+
+        small = exp.query_cache(budget_bytes=full - 1)
+        build_query().execute(exp, cache=small)
+        assert small.session["evictions"] >= 1
+        assert small.stat()["bytes"] <= full - 1
+        # correctness survives eviction: a warm run still renders the
+        # cold result (evicted ancestors of a cached consumer are
+        # pruned, so only their intermediate vectors are absent)
+        warm = build_query().execute(exp, keep_temp_tables=True,
+                                     cache=small)
+        uncached = build_query().execute(exp, keep_temp_tables=True)
+        assert (warm.artifact("o.csv").content
+                == uncached.artifact("o.csv").content)
+        assert (warm.artifact("o.csv").content
+                == cold.artifact("o.csv").content)
+        warm_rows = vector_rows(warm)
+        uncached_rows = vector_rows(uncached)
+        for name in warm_rows:
+            assert warm_rows[name] == uncached_rows[name]
+
+    def test_eviction_drops_least_recently_used(self, exp):
+        cache = exp.query_cache()
+        build_query().execute(exp, cache=cache)
+        entries = cache.entries()  # most recently used first
+        lru_key = entries[-1].key
+        cache.budget_bytes = cache.stat()["bytes"] - 1
+        evicted = cache.evict_to_budget()
+        assert lru_key in evicted
+
+    def test_clear_drops_payload_tables(self, exp, cache):
+        build_query().execute(exp, cache=cache)
+        tables = [t for t in exp.store.db.list_tables()
+                  if t.startswith(CACHE_PREFIX)]
+        assert tables
+        cache.clear()
+        assert not any(t.startswith(CACHE_PREFIX)
+                       for t in exp.store.db.list_tables())
+        assert cache.stat()["entries"] == 0
+
+
+class TestConcurrency:
+    def test_threads_share_one_cache(self, exp, cache):
+        reference = build_query().execute(exp, keep_temp_tables=True)
+        ref_csv = reference.artifact("o.csv").content
+        results: list[str] = []
+        errors: list[BaseException] = []
+
+        def run(i):
+            try:
+                r = build_query(f"q{i}").execute(exp, cache=cache)
+                results.append(r.artifact("o.csv").content)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert results == [ref_csv] * 4
+        # element payloads are deduplicated across the query names
+        assert cache.stat()["entries"] == 5
+
+
+class TestObservability:
+    def test_metrics_and_span_attributes(self, exp, cache):
+        tracer = Tracer(InMemorySink())
+        with use_tracer(tracer):
+            build_query().execute(exp, cache=cache)
+            build_query().execute(exp, cache=cache)
+        tracer.close()
+        counters = {name: tracer.metrics.counter(name).value
+                    for name in ("qcache.hits", "qcache.misses",
+                                 "qcache.stores")}
+        assert counters["qcache.stores"] == 5
+        assert counters["qcache.hits"] == 5
+        assert counters["qcache.misses"] >= 5
+        by_outcome = {"hit": set(), "miss": set()}
+        for span in tracer.spans:
+            outcome = span.attributes.get("cache")
+            if outcome in by_outcome:
+                by_outcome[outcome].add(span.name)
+        assert by_outcome["hit"] == {"s1", "s2", "a1", "a2", "c"}
+        assert by_outcome["miss"] == {"s1", "s2", "a1", "a2", "c"}
+
+    def test_stat_summary(self, exp, cache):
+        build_query().execute(exp, cache=cache)
+        stat = cache.stat()
+        assert stat["entries"] == 5
+        assert stat["bytes"] > 0
+        assert stat["budget_bytes"] == DEFAULT_BUDGET_BYTES
+        assert stat["data_version"] == exp.data_version()
+
+    def test_content_fingerprint_matches_itself(self, exp, cache):
+        warm = build_query().execute(exp, cache=cache)
+        build_query().execute(exp, cache=cache)
+        for entry in cache.entries():
+            rehash, n_rows, _ = content_fingerprint(
+                cache.load(entry))
+            assert rehash == entry.result_hash
+            assert n_rows == entry.n_rows
+        assert warm is not None
+
+
+class TestArtifactErrors:
+    def test_keyerror_lists_available(self, exp):
+        result = build_query().execute(exp)
+        with pytest.raises(KeyError, match="available: o.csv"):
+            result.artifact("nope")
+
+    def test_keyerror_when_empty(self, exp):
+        result = Query([Source("s", results=["bw"])],
+                       name="no_outputs").execute(exp)
+        with pytest.raises(KeyError, match="available: none"):
+            result.artifact("o.csv")
