@@ -39,3 +39,39 @@ echo "== query cache: bench smoke (writes benchmarks/BENCH_pr4.json) =="
 python -m pytest -q -p no:randomly --benchmark-disable \
     benchmarks/bench_query_cache.py
 test -s benchmarks/BENCH_pr4.json
+
+echo "== faults: injection / retry / crash-recovery markers (pytest -m faults) =="
+python -m pytest -q -p no:randomly -m faults tests
+
+echo "== faults: fsck round-trip on a deliberately corrupted fixture db =="
+FSCK_DIR="$(mktemp -d)"
+trap 'rm -rf "$FSCK_DIR"' EXIT
+python - "$FSCK_DIR" <<'EOF'
+import sys
+sys.path.insert(0, "tests")
+from conftest import fill_simple, make_simple_experiment
+from repro.db import SQLiteServer
+
+server = SQLiteServer(sys.argv[1])
+exp = make_simple_experiment(server, "fixture")
+fill_simple(exp, reps=1)
+db = exp.store.db
+# one instance of each repairable damage class
+db.create_table("pbtmp_leak_0", [("v", "REAL")])
+db.create_table("pbc_deadbeef", [("v", "REAL")])
+db.execute("INSERT INTO pb_run_files (run_index, filename, checksum) "
+           "VALUES (999, 'ghost.sum', 'x')")
+db.create_table("rundata_999", [("pb_dataset", "INTEGER")])
+db.commit()
+exp.close()
+EOF
+# dry run must flag the damage (exit 4), repair must fix it (exit 0),
+# and a second dry run must come back clean
+perfbase() {
+    python -c "import sys; from repro.cli.main import main; \
+sys.exit(main(sys.argv[1:]))" "$@"
+}
+perfbase fsck -e fixture --dbdir "$FSCK_DIR" --dry-run \
+    && { echo "fsck --dry-run missed the damage"; exit 1; } || test $? -eq 4
+perfbase fsck -e fixture --dbdir "$FSCK_DIR"
+perfbase fsck -e fixture --dbdir "$FSCK_DIR" --dry-run

@@ -709,6 +709,38 @@ def _register_cache(sub) -> None:
     p.set_defaults(func=cmd_cache)
 
 
+# -- fsck (crash recovery) ----------------------------------------------------
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Detect (and unless --dry-run, repair) state left behind by an
+    interrupted import, query or cache store."""
+    from ..db.recovery import fsck
+    exp = open_experiment(args)
+    try:
+        report = fsck(exp.store, repair=not args.dry_run)
+    finally:
+        exp.close()
+    echo(report.summary())
+    if args.dry_run and not report.clean:
+        return 4
+    return 0
+
+
+def _register_fsck(sub) -> None:
+    p = sub.add_parser(
+        "fsck",
+        help="detect and repair state left by an interrupted "
+             "import/query (leaked temp tables, orphan cache tables, "
+             "dangling run rows)")
+    add_experiment_argument(p)
+    p.add_argument("--dry-run", action="store_true",
+                   help="only report what would be repaired; exit "
+                        "status 4 if damage is found")
+    add_dbdir_argument(p)
+    p.set_defaults(func=cmd_fsck)
+
+
 # -- trace analytics: explain / trace-diff / trace-view -----------------------
 
 
@@ -818,4 +850,5 @@ def register_all(sub) -> None:
     _register_check(sub)
     _register_dump(sub)
     _register_cache(sub)
+    _register_fsck(sub)
     _register_obs(sub)

@@ -19,6 +19,7 @@ import argparse
 import sys
 
 from ..core.errors import PerfbaseError
+from ..faults import plan_from_env, use_faults
 from .commands import register_all
 from .common import CommandError
 
@@ -42,7 +43,11 @@ def main(argv: list[str] | None = None) -> int:
         parser.print_help()
         return 2
     try:
-        return args.func(args)
+        # fault injection via $PERFBASE_FAULTS (repro.faults); a
+        # CrashFault is a BaseException and escapes the handler below
+        # on purpose — the command dies like a killed process
+        with use_faults(plan_from_env()):
+            return args.func(args)
     except (PerfbaseError, CommandError, OSError) as exc:
         sys.stderr.write(f"perfbase: error: {exc}\n")
         return 1

@@ -1,8 +1,12 @@
 """Storage backends: abstract SQL interface, SQLite implementation,
-experiment schema and temp-table management."""
+experiment schema, temp-table management, retry policy and crash
+recovery."""
 
 from .backend import Database, DatabaseServer, quote_identifier
 from .checksums import content_checksum, file_checksum
+from .recovery import Finding, FsckReport, fsck
+from .retry import (DEFAULT_POLICY, RetryPolicy, is_transient_lock,
+                    retry_locked)
 from .schema import (BatchContext, ExperimentStore, SCHEMA_VERSION,
                      variable_from_json, variable_to_json)
 from .sqlite_backend import MemoryServer, SQLiteDatabase, SQLiteServer
@@ -13,5 +17,7 @@ __all__ = [
     "content_checksum", "file_checksum", "ExperimentStore",
     "SCHEMA_VERSION", "variable_from_json", "variable_to_json",
     "MemoryServer", "SQLiteDatabase", "SQLiteServer",
-    "TempTableManager",
+    "TempTableManager", "Finding", "FsckReport", "fsck",
+    "DEFAULT_POLICY", "RetryPolicy", "is_transient_lock",
+    "retry_locked",
 ]

@@ -45,6 +45,7 @@ from ..core.variables import (Occurrence, Parameter, Result, Variable,
                               VariableSet)
 from ..obs.tracer import current_tracer, maybe_span
 from .backend import Database, quote_identifier
+from .retry import retry_locked
 
 __all__ = ["BatchContext", "ExperimentStore", "variable_to_json",
            "variable_from_json", "SCHEMA_VERSION"]
@@ -786,7 +787,10 @@ class BatchContext:
                     # same value as n serial bumps, so the stored bytes
                     # stay identical to the serial path
                     self.store.bump_data_version(len(self.indices))
-                self.db.commit()
+                # a concurrent reader's transient lock must not throw
+                # away a whole imported batch — commit under the
+                # shared retry policy
+                retry_locked(self.db.commit, site="db.batch")
             else:
                 try:
                     self.db.rollback()

@@ -23,10 +23,12 @@ import sqlite3
 import threading
 from typing import Any, Iterable, Sequence
 
+from .. import faults as _faults
 from ..core.errors import (DatabaseError, ExperimentExistsError,
                            NoSuchExperimentError)
 from ..obs.tracer import current_tracer
 from .backend import Database, DatabaseServer, quote_identifier
+from .retry import DEFAULT_POLICY
 
 __all__ = ["SQLiteDatabase", "SQLiteServer", "MemoryServer"]
 
@@ -140,7 +142,8 @@ class SQLiteDatabase(Database):
 
     def __init__(self, path: str = ":memory:", *,
                  shared_name: str | None = None,
-                 autocommit: bool = False):
+                 autocommit: bool = False,
+                 busy_timeout_ms: int = 5000):
         if shared_name is not None:
             self.uri = f"file:{shared_name}?mode=memory&cache=shared"
         else:
@@ -150,6 +153,13 @@ class SQLiteDatabase(Database):
             isolation_level=None if autocommit else "")
         self._conn.execute("PRAGMA journal_mode=MEMORY")
         self._conn.execute("PRAGMA synchronous=OFF")
+        # cross-process writers block on the file lock for a bounded
+        # time instead of failing instantly with "database is locked";
+        # in-process table locks (shared cache) are handled by the
+        # retry policy of repro.db.retry instead
+        self._conn.execute(
+            f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+        self.busy_timeout_ms = int(busy_timeout_ms)
         self._lock = threading.RLock()
         self.path = path
         self._attached: dict[str, str] = {}
@@ -170,13 +180,21 @@ class SQLiteDatabase(Database):
             if alias is not None:
                 return alias
             alias = f"pbatt{len(self._attached)}"
-            try:
-                # single quotes in the URI (e.g. an apostrophe in the
-                # cluster directory name) must be doubled inside the
-                # SQL string literal
-                escaped = uri.replace("'", "''")
+            # single quotes in the URI (e.g. an apostrophe in the
+            # cluster directory name) must be doubled inside the
+            # SQL string literal
+            escaped = uri.replace("'", "''")
+
+            def _attach() -> None:
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.check("db.attach", db=self.path,
+                                         target=uri)
                 self._conn.execute(
                     f"ATTACH DATABASE '{escaped}' AS {alias}")
+            try:
+                # a lock held briefly by another connection must not
+                # permanently degrade this one to row-shipping
+                DEFAULT_POLICY.run(_attach, site="db.attach")
             except sqlite3.Error:
                 return None
             self._attached[uri] = alias
@@ -205,6 +223,9 @@ class SQLiteDatabase(Database):
         if tracer is None:
             with self._lock:
                 try:
+                    if _faults.ACTIVE is not None:
+                        _faults.ACTIVE.check("db.run", db=self.path,
+                                             sql=_sql_summary(sql))
                     if many:
                         self._conn.executemany(sql, params)
                         return None
@@ -221,6 +242,9 @@ class SQLiteDatabase(Database):
         with tracer.span(op, kind="db", sql=_sql_summary(sql)) as span:
             with self._lock:
                 try:
+                    if _faults.ACTIVE is not None:
+                        _faults.ACTIVE.check("db.run", db=self.path,
+                                             sql=_sql_summary(sql))
                     cur = (self._conn.executemany(sql, params) if many
                            else self._conn.execute(sql, params))
                     result = (cur.fetchall() if fetch == "all"
@@ -283,6 +307,10 @@ class SQLiteDatabase(Database):
         return [r[0] for r in rows]
 
     def commit(self) -> None:
+        # the crash-before-commit injection point: a CrashFault here
+        # abandons the open transaction exactly like a killed process
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.check("db.commit", db=self.path)
         with self._lock:
             self._conn.commit()
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import itertools
 from typing import Sequence
 
+from ..obs.tracer import current_tracer
 from .backend import Database
 
 __all__ = ["TempTableManager"]
@@ -54,10 +55,31 @@ class TempTableManager:
         return list(self._tables)
 
     def drop_all(self) -> None:
-        """Drop every table created by this manager (query teardown)."""
+        """Drop every table created by this manager (query teardown).
+
+        Teardown is best-effort: a failing drop must not abandon the
+        later tables (that used to leak every table after the first
+        failure — and, worse, left ``_tables`` populated so a second
+        teardown attempt re-raised on the same table).  Every drop is
+        attempted, the list is always cleared, and the first error is
+        re-raised afterwards.
+        """
+        first_error: Exception | None = None
+        failed = 0
         for name in self._tables:
-            self.db.drop_table(name)
+            try:
+                self.db.drop_table(name)
+            except Exception as exc:
+                failed += 1
+                if first_error is None:
+                    first_error = exc
         self._tables.clear()
+        if first_error is not None:
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.metrics.counter(
+                    "temptables.drop_errors").inc(failed)
+            raise first_error
 
     def row_count(self, name: str) -> int:
         return self.db.count_rows(name)
@@ -65,8 +87,14 @@ class TempTableManager:
     def __enter__(self) -> "TempTableManager":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.drop_all()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.drop_all()
+        except Exception:
+            if exc_type is None:
+                raise
+            # a failing drop during exception unwind must not mask
+            # the original error (every drop was still attempted)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TempTableManager({len(self._tables)} tables)"

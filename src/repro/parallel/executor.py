@@ -21,9 +21,11 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass, field
 
+from .. import faults as _faults
 from ..core.access import UserClass
 from ..core.errors import QueryError
 from ..core.experiment import Experiment
+from ..faults import NodeDeathFault
 from ..obs.tracer import current_tracer, use_tracer
 from ..query.cache import (CacheEntry, QueryCache, cache_key,
                            content_fingerprint)
@@ -54,6 +56,11 @@ class ParallelRunStats:
     #: elements served from the query cache / executed cold
     cache_hits: int = 0
     cache_misses: int = 0
+    #: graceful degradation: nodes that died mid-run and the number of
+    #: elements re-placed onto the survivors
+    node_deaths: int = 0
+    dead_nodes: list[int] = field(default_factory=list)
+    replaced_elements: int = 0
 
     @property
     def parallel_efficiency(self) -> float:
@@ -201,6 +208,12 @@ class ParallelQueryExecutor:
                 queue_wait[0] += waited
             element = graph.elements[name]
             node = self.cluster.node(placement[name])
+            if _faults.ACTIVE is not None:
+                # a NodeDeathFault raised here surfaces through the
+                # future; the main loop re-places this node's pending
+                # work on the surviving nodes
+                _faults.ACTIVE.check("parallel.worker",
+                                     node=node.index, element=name)
             ctx = contexts[node.index]
             with use_tracer(tracer, parent=parent_span):
                 if tracer is not None:
@@ -254,6 +267,49 @@ class ParallelQueryExecutor:
             if vector is not None:
                 vectors[name] = vector
 
+        dead: set[int] = set()
+
+        def handle_node_death(fault: NodeDeathFault, name: str) -> None:
+            """Graceful degradation: bury the node, re-place its work.
+
+            The element that died plus every not-yet-started element
+            placed on the dead node are re-placed over the surviving
+            nodes with the run's own scheduler (placement of elements
+            on live nodes is untouched).  Vectors the node already
+            produced were shipped to their consumers' nodes on use and
+            stay readable, so only pending work moves.
+            """
+            node_index = (fault.node if fault.node >= 0
+                          else placement.get(name, -1))
+            if node_index not in dead:
+                dead.add(node_index)
+                stats.node_deaths += 1
+                stats.dead_nodes.append(node_index)
+            alive = [n.index for n in self.cluster.nodes
+                     if n.index not in dead]
+            if not alive:
+                errors.append(QueryError(
+                    f"parallel query {query.name!r}: every cluster "
+                    "node died"))
+                remaining.clear()
+                return
+            # the dying element's producers all finished (it had been
+            # submitted), so it re-enters the ready queue directly
+            remaining[name] = set()
+            to_move = {pending for pending in remaining
+                       if placement.get(pending) in dead}
+            to_move.add(name)
+            sub = self.scheduler.place(
+                graph, len(alive),
+                skip=frozenset(graph.elements) - to_move)
+            for moved, index in sub.items():
+                placement[moved] = alive[index]
+            stats.replaced_elements += len(to_move)
+            if tracer is not None:
+                tracer.metrics.counter("parallel.node_deaths").inc()
+                tracer.metrics.counter(
+                    "parallel.replaced_elements").inc(len(to_move))
+
         start_wall = time.perf_counter()
         with ExitStack() as stack:
             root_span = None
@@ -281,6 +337,9 @@ class ParallelQueryExecutor:
                 for future in finished:
                     name = running.pop(future)
                     exc = future.exception()
+                    if isinstance(exc, NodeDeathFault):
+                        handle_node_death(exc, name)
+                        continue
                     if exc is not None:
                         errors.append(exc)
                         remaining.clear()

@@ -24,6 +24,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from .. import faults as _faults
 from ..core.errors import DuplicateImportError, InputError
 from ..core.experiment import Experiment
 from ..core.run import RunData
@@ -102,6 +103,9 @@ class Importer:
         return checksum
 
     def _store(self, run: RunData, report: ImportReport) -> None:
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.check("import.store",
+                                 datasets=len(run.datasets))
         use_defaults = self.missing is not MissingPolicy.EMPTY
         tracer = current_tracer()
         try:
@@ -137,6 +141,8 @@ class Importer:
                     "import.runs_missing_content").inc()
 
     def _read(self, path: str) -> str:
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.check("import.read", file=str(path))
         with open(path, "r", encoding="utf-8", errors="replace") as fh:
             return fh.read()
 
@@ -207,10 +213,14 @@ class Importer:
                      ) -> ImportReport:
         """Import many files independently: one (or more) runs each.
 
-        Duplicates and (under the discard policy) malformed files and
-        incomplete runs are skipped without aborting the batch —
-        "batch imports of a large number of input files without
-        worrying about corrupt or incomplete experiment data".
+        Duplicates and (under the discard policy) malformed files,
+        unreadable files and incomplete runs are skipped without
+        aborting the batch — "batch imports of a large number of input
+        files without worrying about corrupt or incomplete experiment
+        data".  (An unreadable path raises :class:`OSError`, which used
+        to abort the whole multi-file import even under DISCARD; it is
+        now recorded in :attr:`ImportReport.failed` like any other bad
+        file.)
 
         The whole call runs as one storage batch
         (:meth:`repro.db.ExperimentStore.batch`): one transaction, run
@@ -227,7 +237,7 @@ class Importer:
                 for path in paths:
                     try:
                         report.merge(self.import_file(path, description))
-                    except InputError as exc:
+                    except (InputError, OSError) as exc:
                         if self.missing is not MissingPolicy.DISCARD:
                             raise
                         report.discarded += 1

@@ -46,13 +46,13 @@ import datetime as _dt
 import hashlib
 import json
 import threading
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence, TypeVar
 
+from .. import faults as _faults
 from ..core.datatypes import DataType, sql_type
-from ..core.errors import DatabaseError
 from ..db.backend import quote_identifier
+from ..db.retry import RetryPolicy
 from ..db.schema import ExperimentStore, _unit_from_json, _unit_to_json
 from ..obs.tracer import current_tracer
 from .vectors import ColumnInfo, DataVector
@@ -73,14 +73,16 @@ _COLS = ("key, skey, element, kind, query_name, table_name, "
          "result_hash, data_version, n_rows, n_bytes, columns, "
          "from_source, hits, tick, created")
 
-#: how long cache writes keep retrying on transient SQLite table locks
-_LOCK_RETRY_SECONDS = 5.0
+#: the cache's instance of the shared retry policy (repro.db.retry):
+#: bounded deterministic backoff, lock/busy-only classification and a
+#: guaranteed post-deadline attempt
+RETRY_POLICY = RetryPolicy(deadline=5.0)
 
 _T = TypeVar("_T")
 
 
 def _retry_locked(fn: Callable[[], _T]) -> _T:
-    """Run ``fn``, retrying transient "table is locked" errors.
+    """Run ``fn`` under the shared lock-retry policy.
 
     The cache writes into the experiment database while parallel node
     connections (shared-cache ATTACH) or other processes hold read
@@ -88,14 +90,7 @@ def _retry_locked(fn: Callable[[], _T]) -> _T:
     retrying makes cache stores robust without global coordination.
     Every cache mutation is written to be safely re-runnable.
     """
-    deadline = time.monotonic() + _LOCK_RETRY_SECONDS
-    while True:
-        try:
-            return fn()
-        except DatabaseError as exc:
-            if "locked" not in str(exc) or time.monotonic() >= deadline:
-                raise
-            time.sleep(0.002)
+    return RETRY_POLICY.run(fn, site="qcache")
 
 
 # -- column metadata (de)serialisation -----------------------------------
@@ -353,6 +348,12 @@ class QueryCache:
                     element: "QueryElement", vector: DataVector, *,
                     result_hash: str, n_rows: int, n_bytes: int,
                     data_version: int, query_name: str) -> CacheEntry:
+        if _faults.ACTIVE is not None:
+            # inside the retried function: injected transient locks
+            # exercise the retry path, injected crashes abandon the
+            # store mid-way (fsck repairs the leftovers)
+            _faults.ACTIVE.check("cache.put", key=key,
+                                 element=element.name)
         existing = self.db.fetchone(
             f"SELECT {_COLS} FROM {CACHE_TABLE} WHERE key=?", (key,))
         if existing is not None and self.db.table_exists(existing[5]):

@@ -1,0 +1,177 @@
+"""The fault injector itself: plans, rules, determinism, activation."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.core.errors import DefinitionError
+from repro.faults import (ACTIVE, CrashFault, FaultPlan, InjectedIOError,
+                          NodeDeathFault, TransientLockFault, current_plan,
+                          inject, plan_from_env, use_faults)
+
+pytestmark = pytest.mark.faults
+
+
+class TestExceptionTypes:
+    def test_lock_is_operational_error(self):
+        exc = TransientLockFault("db.run")
+        assert isinstance(exc, sqlite3.OperationalError)
+        assert "locked" in str(exc)
+
+    def test_io_is_oserror(self):
+        assert isinstance(InjectedIOError("import.read"), OSError)
+
+    def test_crash_is_not_an_exception(self):
+        # 'except Exception' error handling must not swallow a crash
+        exc = CrashFault("db.commit")
+        assert isinstance(exc, BaseException)
+        assert not isinstance(exc, Exception)
+
+    def test_node_death_carries_node(self):
+        exc = NodeDeathFault("parallel.worker", 2)
+        assert isinstance(exc, RuntimeError)
+        assert exc.node == 2
+
+
+class TestPlanParsing:
+    def test_parse_rules_and_seed(self):
+        plan = FaultPlan.parse(
+            "seed=7; lock@db.run:times=2 ;"
+            "crash@db.commit:after=1,times=1,node=3")
+        assert plan.seed == 7
+        assert len(plan.rules) == 2
+        lock, crash = plan.rules
+        assert (lock.kind, lock.site, lock.times) == ("lock", "db.run", 2)
+        assert crash.after == 1 and crash.where == {"node": "3"}
+
+    def test_parse_probability(self):
+        plan = FaultPlan.parse("io@import.read:p=0.5")
+        assert plan.rules[0].p == 0.5
+
+    @pytest.mark.parametrize("spec", [
+        "bogus=1",                    # unknown global option
+        "frobnicate@db.run",          # unknown kind
+        "lock@",                      # no site
+        "lock@db.run:times",          # option without value
+    ])
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(DefinitionError):
+            FaultPlan.parse(spec)
+
+    def test_plan_from_env(self):
+        assert plan_from_env({}) is None
+        assert plan_from_env({"PERFBASE_FAULTS": "  "}) is None
+        plan = plan_from_env({"PERFBASE_FAULTS": "lock@db.*"})
+        assert plan is not None and len(plan.rules) == 1
+
+
+class TestFiring:
+    def test_site_patterns(self):
+        plan = FaultPlan()
+        plan.add("lock", "db.*")
+        with pytest.raises(TransientLockFault):
+            plan.check("db.run")
+        plan.check("cache.put")  # no match, no fire
+        assert plan.fired() == 1
+
+    def test_times_budget(self):
+        plan = FaultPlan()
+        plan.add("io", "import.read", times=2)
+        for _ in range(2):
+            with pytest.raises(InjectedIOError):
+                plan.check("import.read")
+        plan.check("import.read")  # budget spent
+        assert plan.fired("io") == 2
+
+    def test_after_skips_first_checks(self):
+        plan = FaultPlan()
+        plan.add("lock", "db.run", after=2, times=1)
+        plan.check("db.run")
+        plan.check("db.run")
+        with pytest.raises(TransientLockFault):
+            plan.check("db.run")
+
+    def test_every_fires_periodically(self):
+        plan = FaultPlan()
+        plan.add("lock", "db.run", every=3)
+        fired = 0
+        for _ in range(9):
+            try:
+                plan.check("db.run")
+            except TransientLockFault:
+                fired += 1
+        assert fired == 3
+
+    def test_where_matches_context(self):
+        plan = FaultPlan()
+        plan.add("node_death", "parallel.worker", node=1)
+        plan.check("parallel.worker", node=0)
+        with pytest.raises(NodeDeathFault) as info:
+            plan.check("parallel.worker", node=1)
+        assert info.value.node == 1
+        assert plan.log[0].context == {"node": 1}
+
+    def test_probability_is_seed_deterministic(self):
+        def fires(seed):
+            plan = FaultPlan(seed=seed)
+            plan.add("lock", "db.run", p=0.5)
+            pattern = []
+            for _ in range(20):
+                try:
+                    plan.check("db.run")
+                    pattern.append(0)
+                except TransientLockFault:
+                    pattern.append(1)
+            return pattern
+
+        assert fires(7) == fires(7)
+        assert 0 < sum(fires(7)) < 20
+        assert fires(7) != fires(8)
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan()
+        plan.add("io", "db.run", times=1)
+        plan.add("lock", "db.*")
+        with pytest.raises(InjectedIOError):
+            plan.check("db.run")
+        with pytest.raises(TransientLockFault):
+            plan.check("db.run")
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert ACTIVE is None or current_plan() is not None
+
+    def test_use_faults_installs_and_restores(self):
+        import repro.faults as faults
+        plan = FaultPlan()
+        before = faults.ACTIVE
+        with use_faults(plan) as installed:
+            assert installed is plan
+            assert faults.ACTIVE is plan
+            assert current_plan() is plan
+        assert faults.ACTIVE is before
+
+    def test_use_faults_restores_on_crash(self):
+        import repro.faults as faults
+        plan = FaultPlan()
+        plan.add("crash", "db.commit")
+        with pytest.raises(CrashFault):
+            with use_faults(plan):
+                inject("db.commit")
+        assert faults.ACTIVE is None
+
+    def test_use_faults_none_is_noop(self):
+        with use_faults(None):
+            inject("db.run")  # nothing installed, nothing fires
+
+    def test_inject_respects_active_plan(self):
+        plan = FaultPlan()
+        plan.add("io", "import.read")
+        inject("import.read")  # disabled: no fire
+        with use_faults(plan):
+            with pytest.raises(InjectedIOError):
+                inject("import.read")
+        assert plan.fired() == 1

@@ -1,0 +1,178 @@
+"""The shared retry/backoff policy of repro.db.retry."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.core.errors import DatabaseError
+from repro.db.retry import (DEFAULT_POLICY, RetryPolicy,
+                            is_transient_lock, retry_locked)
+from repro.faults import TransientLockFault
+from repro.obs import InMemorySink, Tracer, use_tracer
+
+pytestmark = pytest.mark.faults
+
+
+class FakeClock:
+    """Deterministic clock + sleep recorder for backoff assertions."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def flaky(failures, exc_factory=lambda: TransientLockFault("t")):
+    """A callable failing ``failures`` times, then returning 'ok'."""
+    state = {"left": failures, "calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise exc_factory()
+        return "ok"
+
+    fn.state = state
+    return fn
+
+
+class TestClassification:
+    def test_plain_lock_errors(self):
+        assert is_transient_lock(
+            sqlite3.OperationalError("database table is locked"))
+        assert is_transient_lock(
+            sqlite3.OperationalError("database is busy"))
+
+    def test_injected_lock_classifies(self):
+        # the injected fault must be indistinguishable from the real one
+        assert is_transient_lock(TransientLockFault("db.run"))
+
+    def test_wrapped_lock_via_cause_chain(self):
+        # SQLiteDatabase._run re-raises as DatabaseError ... from exc
+        try:
+            try:
+                raise sqlite3.OperationalError("database table is locked")
+            except sqlite3.OperationalError as exc:
+                raise DatabaseError(f"{exc} [sql: SELECT 1]") from exc
+        except DatabaseError as wrapped:
+            assert is_transient_lock(wrapped)
+
+    def test_non_lock_errors_rejected(self):
+        assert not is_transient_lock(
+            sqlite3.OperationalError("no such table: pb_runs"))
+        assert not is_transient_lock(ValueError("locked"))
+        assert not is_transient_lock(sqlite3.IntegrityError("locked"))
+
+    def test_cause_cycle_terminates(self):
+        a = DatabaseError("a")
+        b = DatabaseError("b")
+        a.__cause__ = b
+        b.__cause__ = a
+        assert not is_transient_lock(a)
+
+
+class TestRetryPolicy:
+    def test_returns_result_without_failures(self):
+        assert retry_locked(lambda: 42) == 42
+
+    def test_recovers_after_transient_failures(self):
+        clock = FakeClock()
+        fn = flaky(3)
+        policy = RetryPolicy()
+        assert policy.run(fn, clock=clock, sleep=clock.sleep) == "ok"
+        assert fn.state["calls"] == 4
+
+    def test_non_transient_raises_immediately(self):
+        fn = flaky(5, exc_factory=lambda: ValueError("nope"))
+        with pytest.raises(ValueError):
+            retry_locked(fn)
+        assert fn.state["calls"] == 1
+
+    def test_backoff_is_bounded_and_deterministic(self):
+        clock = FakeClock()
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.04,
+                             multiplier=2.0, deadline=100.0,
+                             max_attempts=20)
+        policy.run(flaky(5), clock=clock, sleep=clock.sleep)
+        assert clock.sleeps == [0.01, 0.02, 0.04, 0.04, 0.04]
+
+    def test_max_attempts_exhausts(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=3, deadline=100.0)
+        fn = flaky(99)
+        with pytest.raises(TransientLockFault):
+            policy.run(fn, clock=clock, sleep=clock.sleep)
+        assert fn.state["calls"] == 3
+
+    def test_guaranteed_attempt_after_deadline(self):
+        # the deadline elapsing mid-wait must still grant one last try:
+        # a fn that recovers exactly then succeeds instead of raising
+        clock = FakeClock()
+        policy = RetryPolicy(base_delay=10.0, max_delay=10.0,
+                             deadline=5.0, max_attempts=100)
+        fn = flaky(2)
+        assert policy.run(fn, clock=clock, sleep=clock.sleep) == "ok"
+        assert fn.state["calls"] == 3
+
+    def test_deadline_bounds_total_attempts(self):
+        clock = FakeClock()
+        policy = RetryPolicy(base_delay=1.0, max_delay=1.0,
+                             deadline=2.5, max_attempts=100)
+        fn = flaky(99)
+        with pytest.raises(TransientLockFault):
+            policy.run(fn, clock=clock, sleep=clock.sleep)
+        # initial try, two in-deadline retries, one final grace attempt
+        assert fn.state["calls"] <= 5
+
+    def test_sleep_never_overshoots_deadline(self):
+        clock = FakeClock()
+        policy = RetryPolicy(base_delay=10.0, max_delay=10.0,
+                             deadline=4.0, max_attempts=100)
+        with pytest.raises(TransientLockFault):
+            policy.run(flaky(99), clock=clock, sleep=clock.sleep)
+        assert all(s <= 4.0 for s in clock.sleeps)
+
+    def test_default_policy_is_shared(self):
+        assert DEFAULT_POLICY.max_attempts >= 2
+        assert DEFAULT_POLICY.deadline > 0
+
+
+class TestObservability:
+    def test_counters_on_recovery(self):
+        clock = FakeClock()
+        tracer = Tracer(InMemorySink())
+        with use_tracer(tracer):
+            RetryPolicy().run(flaky(2), site="qcache",
+                              clock=clock, sleep=clock.sleep)
+        names = tracer.metrics.names()
+        assert "retry.retries" in names
+        assert "retry.retries.qcache" in names
+        assert "retry.recovered" in names
+        assert tracer.metrics.counter("retry.retries").value == 2
+
+    def test_counters_on_exhaustion(self):
+        clock = FakeClock()
+        tracer = Tracer(InMemorySink())
+        with use_tracer(tracer):
+            with pytest.raises(TransientLockFault):
+                RetryPolicy(max_attempts=2, deadline=100.0).run(
+                    flaky(9), clock=clock, sleep=clock.sleep)
+        assert tracer.metrics.counter("retry.exhausted").value == 1
+
+    def test_retries_span_attribute(self):
+        clock = FakeClock()
+        tracer = Tracer(InMemorySink())
+        with use_tracer(tracer):
+            with tracer.span("op", kind="db") as span:
+                RetryPolicy().run(flaky(1), clock=clock,
+                                  sleep=clock.sleep)
+            assert span.attributes["retries"] == 1
