@@ -40,6 +40,14 @@ python -m pytest -q -p no:randomly --benchmark-disable \
     benchmarks/bench_query_cache.py
 test -s benchmarks/BENCH_pr4.json
 
+echo "== diffdb: cross-backend differential battery (pytest -m diffdb) =="
+python -m pytest -q -p no:randomly -m diffdb tests
+
+echo "== diffdb: bench smoke (writes benchmarks/BENCH_pr6.json) =="
+python -m pytest -q -p no:randomly --benchmark-disable \
+    benchmarks/bench_backend_diff.py
+test -s benchmarks/BENCH_pr6.json
+
 echo "== faults: injection / retry / crash-recovery markers (pytest -m faults) =="
 python -m pytest -q -p no:randomly -m faults tests
 

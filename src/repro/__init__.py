@@ -17,7 +17,7 @@ Public entry points::
 from .core import (DataType, Experiment, ExperimentInfo, Occurrence,
                    Parameter, PerfbaseError, Person, Result, RunData, Unit,
                    UserClass, Variable, VariableSet)
-from .db import MemoryServer, SQLiteServer
+from .db import MemoryDatabaseServer, MemoryServer, SQLiteServer
 
 __version__ = "1.0.0"
 
@@ -25,5 +25,6 @@ __all__ = [
     "DataType", "Experiment", "ExperimentInfo", "Occurrence", "Parameter",
     "PerfbaseError", "Person", "Result", "RunData", "Unit", "UserClass",
     "Variable", "VariableSet", "MemoryServer", "SQLiteServer",
+    "MemoryDatabaseServer",
     "__version__",
 ]

@@ -8,7 +8,7 @@ import os
 import sys
 
 from ..core.experiment import Experiment
-from ..db.sqlite_backend import SQLiteServer
+from ..db import BACKENDS, DatabaseServer, server_for_backend
 
 __all__ = ["add_dbdir_argument", "add_obs_arguments",
            "add_cache_arguments", "resolve_cli_cache", "open_server",
@@ -18,6 +18,9 @@ __all__ = ["add_dbdir_argument", "add_obs_arguments",
 #: paper's "personal database server on his local workstation")
 ENV_DBDIR = "PERFBASE_DB_DIR"
 DEFAULT_DBDIR = os.path.join(os.path.expanduser("~"), ".perfbase")
+#: default storage backend, overridable via environment
+ENV_BACKEND = "PERFBASE_BACKEND"
+DEFAULT_BACKEND = "sqlite"
 
 
 class CommandError(Exception):
@@ -29,6 +32,12 @@ def add_dbdir_argument(parser: argparse.ArgumentParser) -> None:
         "--dbdir", default=os.environ.get(ENV_DBDIR, DEFAULT_DBDIR),
         help="directory holding the experiment databases "
              f"(default: ${ENV_DBDIR} or {DEFAULT_DBDIR})")
+    parser.add_argument(
+        "--backend", choices=sorted(BACKENDS),
+        default=os.environ.get(ENV_BACKEND, DEFAULT_BACKEND),
+        help="storage backend serving the experiment databases "
+             f"(default: ${ENV_BACKEND} or {DEFAULT_BACKEND}; "
+             "'memory' is per-process only)")
 
 
 def add_experiment_argument(parser: argparse.ArgumentParser) -> None:
@@ -37,8 +46,13 @@ def add_experiment_argument(parser: argparse.ArgumentParser) -> None:
         help="name of the experiment")
 
 
-def open_server(args: argparse.Namespace) -> SQLiteServer:
-    return SQLiteServer(args.dbdir)
+def open_server(args: argparse.Namespace) -> DatabaseServer:
+    backend = getattr(args, "backend", None) \
+        or os.environ.get(ENV_BACKEND, DEFAULT_BACKEND)
+    try:
+        return server_for_backend(backend, args.dbdir)
+    except ValueError as exc:
+        raise CommandError(str(exc)) from exc
 
 
 def open_experiment(args: argparse.Namespace) -> Experiment:

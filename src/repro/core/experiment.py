@@ -69,6 +69,8 @@ class Experiment:
         access = AccessControl()
         store.set_meta("access", access.as_dict())
         store.set_meta("created", datetime.now().isoformat())
+        store.set_meta("backend",
+                       getattr(server, "backend_name", "sqlite"))
         exp._access = access
         return exp
 
@@ -242,6 +244,7 @@ class Experiment:
             "project": info.project,
             "performed_by": info.performed_by.as_dict(),
             "created": self.store.get_meta("created"),
+            "backend": self.store.get_meta("backend") or "sqlite",
             "n_runs": self.n_runs(),
             "parameters": [v.name for v in self.variables.parameters],
             "results": [v.name for v in self.variables.results],

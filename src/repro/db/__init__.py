@@ -1,9 +1,11 @@
-"""Storage backends: abstract SQL interface, SQLite implementation,
-experiment schema, temp-table management, retry policy and crash
-recovery."""
+"""Storage backends: abstract SQL interface, SQLite and in-memory
+columnar implementations, experiment schema, temp-table management,
+retry policy and crash recovery."""
 
 from .backend import Database, DatabaseServer, quote_identifier
 from .checksums import content_checksum, file_checksum
+from .memory_backend import (MemoryDatabase, MemoryDatabaseServer,
+                             memory_server_for)
 from .recovery import Finding, FsckReport, fsck
 from .retry import (DEFAULT_POLICY, RetryPolicy, is_transient_lock,
                     retry_locked)
@@ -12,11 +14,39 @@ from .schema import (BatchContext, ExperimentStore, SCHEMA_VERSION,
 from .sqlite_backend import MemoryServer, SQLiteDatabase, SQLiteServer
 from .temptables import TempTableManager
 
+#: selectable storage backends: name -> directory-based server factory.
+#: Every entry takes the database directory (the "cluster directory")
+#: and returns a :class:`DatabaseServer`; new backends register here
+#: and become available to the CLI's ``--backend`` flag.
+BACKENDS = {
+    "sqlite": SQLiteServer,
+    "memory": memory_server_for,
+}
+
+
+def server_for_backend(backend: str, directory: str) -> DatabaseServer:
+    """A :class:`DatabaseServer` of the named backend for a directory.
+
+    ``sqlite`` opens the file-backed server; ``memory`` resolves the
+    process-wide in-memory server registered for that directory (no
+    cross-process persistence).
+    """
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(
+            f"unknown backend {backend!r} (known: {known})") from None
+    return factory(directory)
+
+
 __all__ = [
     "BatchContext", "Database", "DatabaseServer", "quote_identifier",
     "content_checksum", "file_checksum", "ExperimentStore",
     "SCHEMA_VERSION", "variable_from_json", "variable_to_json",
     "MemoryServer", "SQLiteDatabase", "SQLiteServer",
+    "MemoryDatabase", "MemoryDatabaseServer", "memory_server_for",
+    "BACKENDS", "server_for_backend",
     "TempTableManager", "Finding", "FsckReport", "fsck",
     "DEFAULT_POLICY", "RetryPolicy", "is_transient_lock",
     "retry_locked",

@@ -158,6 +158,10 @@ class DatabaseServer(abc.ABC):
     server runs on; the default single-server setup uses node 0.
     """
 
+    #: storage-backend family this server provides; recorded in
+    #: ``pb_meta`` at experiment creation and shown by ``perfbase info``
+    backend_name = "sqlite"
+
     def __init__(self, node: int = 0):
         self.node = node
 

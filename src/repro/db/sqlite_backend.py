@@ -340,6 +340,8 @@ class SQLiteDatabase(Database):
 class SQLiteServer(DatabaseServer):
     """File-backed server: a directory of ``<experiment>.db`` files."""
 
+    backend_name = "sqlite"
+
     def __init__(self, directory: str | pathlib.Path, node: int = 0):
         super().__init__(node)
         self.directory = pathlib.Path(directory)
@@ -384,6 +386,8 @@ class MemoryServer(DatabaseServer):
     other connections (the simulated cluster nodes) can attach and read
     them directly in SQL.
     """
+
+    backend_name = "sqlite"
 
     def __init__(self, node: int = 0):
         super().__init__(node)

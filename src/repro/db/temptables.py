@@ -11,7 +11,6 @@ tables and tears everything down when the query finishes.
 
 from __future__ import annotations
 
-import itertools
 from typing import Sequence
 
 from ..obs.tracer import current_tracer
@@ -20,28 +19,33 @@ from .backend import Database
 __all__ = ["TempTableManager"]
 
 
-#: process-wide counter so two queries on the same database (e.g. with
-#: kept temp tables, or concurrent parallel-node managers) never clash
-_GLOBAL_COUNTER = itertools.count()
-
-
 class TempTableManager:
     """Creates and tracks per-query-element temporary tables."""
 
     def __init__(self, db: Database, prefix: str = "pbtmp"):
         self.db = db
         self.prefix = prefix
-        self._counter = _GLOBAL_COUNTER
+        self._next = 0
         self._tables: list[str] = []
 
     def new_table(self, element_name: str,
                   columns: Sequence[tuple[str, str]]) -> str:
         """Create a fresh temp table for ``element_name`` with the given
         ``(column, sqltype)`` pairs; returns the table name (the
-        "reference" passed between elements)."""
-        n = next(self._counter)
+        "reference" passed between elements).
+
+        Numbering restarts per manager so a re-executed query emits the
+        exact same statement text — both backends then reuse cached
+        parses/prepared statements instead of recompiling every run.
+        Leftovers from kept temp tables (or another live manager with
+        the same prefix) are skipped, not clobbered.
+        """
         safe = "".join(c if c.isalnum() else "_" for c in element_name)
-        name = f"{self.prefix}_{safe}_{n}"
+        while True:
+            name = f"{self.prefix}_{safe}_{self._next}"
+            self._next += 1
+            if not self.db.table_exists(name):
+                break
         self.db.create_table(name, columns, temporary=True)
         self._tables.append(name)
         return name

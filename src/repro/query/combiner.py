@@ -99,9 +99,12 @@ class Combiner(QueryElement):
                 for c in shared)
         else:
             cond = "a.rowid = b.rowid"
+        # ORDER BY pins duplicate-key join output, which is otherwise
+        # backend-planner-dependent.
         ctx.db.execute(
             f"INSERT INTO {quote_identifier(table)} "
-            f"SELECT {', '.join(sel)} FROM {lt} a JOIN {rt} b ON {cond}")
+            f"SELECT {', '.join(sel)} FROM {lt} a JOIN {rt} b ON {cond} "
+            f"ORDER BY a.rowid, b.rowid")
         return DataVector(ctx.db, table, out_cols, producer=self.name)
 
     @staticmethod

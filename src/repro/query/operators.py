@@ -487,10 +487,13 @@ class Operator(QueryElement):
                 for c in common)
         else:
             cond = "a.rowid = b.rowid"
+        # Pin the row order: without it, duplicate join keys come back
+        # in whatever order the backend's planner picks (SQLite's
+        # automatic indexes sort them by the covered columns).
         ctx.db.execute(
             f"INSERT INTO {quote_identifier(table)} "
             f"SELECT {', '.join(sel)} FROM {lt} a JOIN {rt} b "
-            f"ON {cond}")
+            f"ON {cond} ORDER BY a.rowid, b.rowid")
         return DataVector(ctx.db, table, out_cols, producer=self.name)
 
 
@@ -639,6 +642,9 @@ def _join(ctx: QueryContext, vectors: list[DataVector], who: str
         else:
             cond = f"t0.rowid = t{i}.rowid"
         sql += f" JOIN {quote_identifier(v.table)} t{i} ON {cond}"
+    # deterministic output for duplicate join keys (planner-independent)
+    sql += " ORDER BY " + ", ".join(
+        f"t{i}.rowid" for i in range(len(vectors)))
     return ctx.db.fetchall(sql), params, result_sets
 
 

@@ -1,0 +1,20 @@
+"""Test-support machinery shipped with the library.
+
+Currently the cross-backend differential harness
+(:mod:`repro.testing.differential`), used by ``tests/diffdb`` and
+available to downstream backends as a public conformance tool.
+"""
+
+from .differential import (BACKEND_FACTORIES, DIFF_BACKENDS,
+                           DifferentialMismatch, assert_identical,
+                           assert_vectors_identical, make_server,
+                           query_outcome, run_differential,
+                           snapshot_result, snapshot_store,
+                           snapshot_vector)
+
+__all__ = [
+    "BACKEND_FACTORIES", "DIFF_BACKENDS", "DifferentialMismatch",
+    "assert_identical", "assert_vectors_identical", "make_server",
+    "query_outcome", "run_differential", "snapshot_result",
+    "snapshot_store", "snapshot_vector",
+]

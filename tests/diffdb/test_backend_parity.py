@@ -1,0 +1,178 @@
+"""Backend-contract parity: identifier quoting, declaration-order
+introspection, and the pb_* statistical aggregates' NULL semantics —
+asserted directly at the SQL surface on every backend."""
+
+import pytest
+
+from repro.core.errors import DatabaseError
+from repro.db import quote_identifier
+from repro.testing import DIFF_BACKENDS, make_server
+
+pytestmark = pytest.mark.diffdb
+
+
+@pytest.fixture(params=DIFF_BACKENDS)
+def db(request):
+    server = make_server(request.param)
+    database = server.create_database("parity")
+    yield database
+    database.close()
+
+
+class TestQuoteIdentifier:
+    def test_quotes_valid_names(self):
+        assert quote_identifier("bw") == '"bw"'
+        assert quote_identifier("S_chunk") == '"S_chunk"'
+        assert quote_identifier("_x9") == '"_x9"'
+
+    @pytest.mark.parametrize("bad", [
+        "", "1abc", "a-b", 'a"b', "a b", "a;--", "Robert'); DROP",
+        "tab\tname", "ünicode",
+    ])
+    def test_rejects_invalid_names(self, bad):
+        with pytest.raises(DatabaseError):
+            quote_identifier(bad)
+
+    def test_quoted_name_usable_on_backend(self, db):
+        db.create_table("t", [("v", "INTEGER")])
+        db.execute(f"INSERT INTO {quote_identifier('t')} "
+                   f"({quote_identifier('v')}) VALUES (?)", (7,))
+        assert db.fetchone('SELECT "v" FROM "t"') == (7,)
+
+
+class TestTableColumnsOrder:
+    def test_declaration_order_preserved(self, db):
+        columns = [("zeta", "TEXT"), ("alpha", "INTEGER"),
+                   ("mid", "REAL"), ("beta", "TEXT")]
+        db.create_table("ordered", columns)
+        assert db.table_columns("ordered") == [c for c, _ in columns]
+
+    def test_order_survives_alter_add(self, db):
+        db.create_table("t", [("b", "TEXT"), ("a", "INTEGER")])
+        db.execute('ALTER TABLE t ADD COLUMN "zz" REAL')
+        db.execute('ALTER TABLE t ADD COLUMN "aa" TEXT')
+        assert db.table_columns("t") == ["b", "a", "zz", "aa"]
+
+    def test_order_survives_alter_drop(self, db):
+        db.create_table("t", [("x", "TEXT"), ("y", "INTEGER"),
+                              ("z", "REAL")])
+        db.execute('ALTER TABLE t DROP COLUMN "y"')
+        assert db.table_columns("t") == ["x", "z"]
+
+    def test_missing_table_raises(self, db):
+        with pytest.raises(DatabaseError):
+            db.table_columns("ghost")
+
+    def test_select_star_follows_declaration_order(self, db):
+        db.create_table("t", [("b", "INTEGER"), ("a", "INTEGER")])
+        db.insert_rows("t", ["b", "a"], [(1, 2)])
+        assert db.fetchall("SELECT * FROM t") == [(1, 2)]
+
+
+def _agg(db, fn, values):
+    db.drop_table("agg")
+    db.create_table("agg", [("v", "REAL")])
+    if values:
+        db.insert_rows("agg", ["v"], [(v,) for v in values])
+    return db.fetchone(f'SELECT {fn}("v") FROM "agg"')[0]
+
+
+class TestAggregateNullParity:
+    """<2 non-NULL rows: stddev/variance are NULL (PostgreSQL parity,
+    not SQLite's would-be 0.0); median of nothing is NULL."""
+
+    @pytest.mark.parametrize("fn", ["pb_stddev", "pb_variance"])
+    def test_empty_is_null(self, db, fn):
+        assert _agg(db, fn, []) is None
+
+    @pytest.mark.parametrize("fn", ["pb_stddev", "pb_variance"])
+    def test_single_row_is_null(self, db, fn):
+        assert _agg(db, fn, [4.25]) is None
+
+    @pytest.mark.parametrize("fn", ["pb_stddev", "pb_variance"])
+    def test_nulls_do_not_count(self, db, fn):
+        assert _agg(db, fn, [4.25, None, None]) is None
+
+    @pytest.mark.parametrize("fn", ["pb_stddev", "pb_variance"])
+    def test_two_rows_defined(self, db, fn):
+        assert _agg(db, fn, [1.0, 3.0]) == pytest.approx(
+            2.0 if fn == "pb_variance" else 2.0 ** 0.5)
+
+    def test_median_empty_is_null(self, db):
+        assert _agg(db, "pb_median", []) is None
+        assert _agg(db, "pb_median", [None]) is None
+
+    def test_median_single(self, db):
+        assert _agg(db, "pb_median", [5.0]) == 5.0
+
+    def test_median_even_interpolates(self, db):
+        assert _agg(db, "pb_median", [1.0, 2.0, 10.0, 20.0]) == 6.0
+
+    def test_product_empty_is_null(self, db):
+        assert _agg(db, "pb_product", []) is None
+        assert _agg(db, "pb_product", [None]) is None
+
+    def test_product_values(self, db):
+        assert _agg(db, "pb_product", [2.0, 3.0, 4.0]) == 24.0
+
+
+def _identical_across_backends(sql_calls):
+    """Run the same SQL trace on every backend, compare results +
+    result types."""
+    outcomes = []
+    for backend in DIFF_BACKENDS:
+        server = make_server(backend)
+        db = server.create_database("x")
+        outcomes.append([call(db) for call in sql_calls])
+        db.close()
+    reference = outcomes[0]
+    for other in outcomes[1:]:
+        assert other == reference
+        for a, b in zip(reference, other):
+            assert type(a) is type(b)
+
+
+class TestValueSemanticsParity:
+    def test_affinity_and_division(self):
+        _identical_across_backends([
+            lambda db: db.create_table(
+                "t", [("i", "INTEGER"), ("r", "REAL"), ("s", "TEXT")]),
+            lambda db: db.insert_rows(
+                "t", ["i", "r", "s"], [(2.0, 3, 7), ("11", "2.5", 1.5)]),
+            lambda db: db.fetchall("SELECT i, r, s FROM t"),
+            lambda db: db.fetchall(
+                "SELECT i / 4, i / 4.0, i % 4, -i FROM t"),
+            lambda db: db.fetchall(
+                "SELECT CAST(i AS REAL), CAST(r AS INTEGER) FROM t"),
+            lambda db: db.fetchone("SELECT 7 / 2"),
+            lambda db: db.fetchone("SELECT -7 / 2"),
+            lambda db: db.fetchone("SELECT 1 / 0"),
+            lambda db: db.fetchone("SELECT 1.0 / 0"),
+        ])
+
+    def test_null_three_valued_logic(self):
+        _identical_across_backends([
+            lambda db: db.create_table("t", [("v", "INTEGER")]),
+            lambda db: db.insert_rows(
+                "t", ["v"], [(1,), (None,), (0,)]),
+            lambda db: db.fetchall(
+                "SELECT v FROM t WHERE v > 0 OR v IS NULL"),
+            lambda db: db.fetchall("SELECT v FROM t WHERE NOT v = 1"),
+            lambda db: db.fetchall(
+                "SELECT v FROM t WHERE v IN (1, 2)"),
+            lambda db: db.fetchall(
+                "SELECT v IS NULL, v IS NOT NULL FROM t"),
+        ])
+
+    def test_order_by_mixed_types_and_limit(self):
+        _identical_across_backends([
+            lambda db: db.create_table("t", [("v", "")]),
+            lambda db: db.insert_rows(
+                "t", ["v"],
+                [(3,), ("b",), (None,), (1.5,), ("a",), (2,)]),
+            lambda db: db.fetchall("SELECT v FROM t ORDER BY v"),
+            lambda db: db.fetchall("SELECT v FROM t ORDER BY v DESC"),
+            lambda db: db.fetchall(
+                "SELECT v FROM t ORDER BY v LIMIT 3"),
+            lambda db: db.fetchall("SELECT DISTINCT v FROM t ORDER BY v"),
+        ])

@@ -1,0 +1,82 @@
+"""Crash recovery: identical manufactured damage must yield identical
+fsck findings and identical repaired state on every backend.
+
+Damage is manufactured through plain SQL on the experiment database —
+the same statements run against both backends, simulating the states
+an interrupted import/query/delete leaves behind."""
+
+import pytest
+
+from repro.db import fsck
+from repro.testing import query_outcome, run_differential, snapshot_store
+from tests.diffdb.conftest import QUERY_BATTERY, build_filled
+
+pytestmark = pytest.mark.diffdb
+
+
+def _report_snapshot(report):
+    return {
+        "clean": report.clean,
+        "by_category": report.by_category(),
+        "findings": [(f.category, f.repaired)
+                     for f in sorted(report.findings,
+                                     key=lambda f: (f.category,
+                                                    f.detail))],
+    }
+
+
+def _damage(db):
+    """Every damage class of the repair matrix, via plain SQL."""
+    # leaked query temp table
+    db.execute('CREATE TABLE "pbq_leak_x_1" ("v" REAL)')
+    # orphan cache payload without metadata
+    db.execute('CREATE TABLE "pbc_0000deadbeef" ("v" REAL)')
+    # provenance/once rows naming a run that does not exist
+    db.execute('INSERT INTO "pb_run_files" '
+               '("run_index", "filename", "checksum") '
+               "VALUES (?, ?, ?)", (999, "ghost.log", "feedface"))
+    db.execute('INSERT INTO "pb_once" ("run_index", "technique", "fs") '
+               "VALUES (?, ?, ?)", (999, "ghost", "ufs"))
+    # active run whose data table is gone (interrupted import)
+    db.execute('DROP TABLE IF EXISTS "rundata_1"')
+    # data table of a run deactivated without cleanup (interrupted
+    # delete): deactivate run 2 but keep its table
+    db.execute('UPDATE "pb_runs" SET "active" = 0 '
+               'WHERE "run_index" = ?', (2,))
+    db.commit()
+
+
+def test_fsck_repairs_identically():
+    def scenario(server, backend):
+        exp = build_filled(server)
+        _damage(exp.store.db)
+        first = fsck(exp.store)
+        second = fsck(exp.store)  # idempotent: repaired db is clean
+        return {
+            "first": _report_snapshot(first),
+            "second": _report_snapshot(second),
+            "store": snapshot_store(exp.store),
+        }
+    outcomes = run_differential(scenario)
+    assert not outcomes["sqlite"]["first"]["clean"]
+    assert outcomes["sqlite"]["second"]["clean"]
+
+
+def test_fsck_dry_run_identical():
+    def scenario(server, backend):
+        exp = build_filled(server)
+        _damage(exp.store.db)
+        report = fsck(exp.store, repair=False)
+        # damage is still in place after a dry run (the broken run's
+        # data table is gone), so only the report is comparable
+        return _report_snapshot(report)
+    run_differential(scenario)
+
+
+def test_queries_after_repair_identical():
+    def scenario(server, backend):
+        exp = build_filled(server)
+        _damage(exp.store.db)
+        fsck(exp.store)
+        return query_outcome(exp, QUERY_BATTERY["avg"]())
+    run_differential(scenario)

@@ -1,0 +1,72 @@
+"""Parallel execution across backends, and the `attach` fallback.
+
+The memory backend cannot be attached by the cluster nodes' SQLite
+connections (``attachable_uri`` is ``None``), so parallel queries over
+it always take the Python-row fallback of the source elements and the
+cross-database path of cache stores.  These tests pin down that the
+fallback is result- and order-identical to the direct-attach fast path
+— on SQLite by forcing the fallback, and across backends by comparing
+parallel outcomes."""
+
+import pytest
+
+from repro.db.sqlite_backend import SQLiteDatabase
+from repro.testing import query_outcome, run_differential
+from tests.diffdb.conftest import QUERY_BATTERY, build_filled
+
+pytestmark = pytest.mark.diffdb
+
+#: battery subset exercising source fan-out, reductions, two-vector
+#: joins and the combiner on the parallel executor
+PARALLEL_BATTERY = ("source_only", "avg", "stddev", "median",
+                    "diff", "div", "combine", "source_filters")
+
+
+@pytest.mark.parametrize("battery", PARALLEL_BATTERY)
+def test_parallel_identical_across_backends(battery):
+    def scenario(server, backend):
+        exp = build_filled(server)
+        return query_outcome(exp, QUERY_BATTERY[battery](), parallel=3)
+    run_differential(scenario)
+
+
+@pytest.mark.parametrize("battery", PARALLEL_BATTERY)
+def test_forced_fallback_matches_attach(battery, server, monkeypatch):
+    """On SQLite, the Python-row fallback (attach unavailable) must
+    produce exactly what the direct-attach path produces — including
+    row order, which downstream rowid-joins depend on."""
+    exp = build_filled(server)
+    attached = query_outcome(exp, QUERY_BATTERY[battery](), parallel=3)
+
+    monkeypatch.setattr(SQLiteDatabase, "attach",
+                        lambda self, other: None)
+    monkeypatch.setattr(SQLiteDatabase, "attachable_uri",
+                        property(lambda self: None))
+    fallback = query_outcome(exp, QUERY_BATTERY[battery](), parallel=3)
+    assert attached == fallback
+
+
+def test_parallel_cached_identical_across_backends():
+    """Parallel + cache: stores go through the cross-database path for
+    the memory backend; warm runs must still agree everywhere."""
+    def scenario(server, backend):
+        exp = build_filled(server)
+        query = QUERY_BATTERY["avg"]
+        cold = query_outcome(exp, query(), parallel=3, cache=True)
+        warm = query_outcome(exp, query(), parallel=3, cache=True)
+        assert cold == warm
+        return {"cold": cold, "warm": warm}
+    run_differential(scenario)
+
+
+def test_serial_equals_parallel_on_memory_backend():
+    """The memory backend's serial engine and the cluster's fallback
+    path must agree with each other, not just across backends."""
+    def scenario(server, backend):
+        exp = build_filled(server)
+        serial = query_outcome(exp, QUERY_BATTERY["avg"]())
+        parallel = query_outcome(exp, QUERY_BATTERY["avg"](),
+                                 parallel=3)
+        assert serial == parallel
+        return serial
+    run_differential(scenario)

@@ -1,0 +1,43 @@
+"""The differential query battery: every operator shape, serial
+engine, cache off / cold / warm — byte-identical across backends."""
+
+import pytest
+
+from repro.testing import query_outcome, run_differential
+from tests.conftest import fill_simple
+from tests.diffdb.conftest import QUERY_BATTERY, build_filled
+
+pytestmark = pytest.mark.diffdb
+
+
+@pytest.mark.parametrize("battery", sorted(QUERY_BATTERY))
+def test_battery_uncached(battery):
+    def scenario(server, backend):
+        exp = build_filled(server)
+        return query_outcome(exp, QUERY_BATTERY[battery]())
+    run_differential(scenario)
+
+
+@pytest.mark.parametrize("battery", sorted(QUERY_BATTERY))
+def test_battery_cached_cold_and_warm(battery):
+    """With the cache on, the cold run (misses stored) and the warm
+    run (served from cache tables) must both match across backends."""
+    def scenario(server, backend):
+        exp = build_filled(server)
+        cold = query_outcome(exp, QUERY_BATTERY[battery](), cache=True)
+        warm = query_outcome(exp, QUERY_BATTERY[battery](), cache=True)
+        assert cold == warm  # cache must be invisible per backend too
+        return {"cold": cold, "warm": warm}
+    run_differential(scenario)
+
+
+def test_cache_invalidation_after_import():
+    """New data must invalidate source-derived entries identically."""
+    def scenario(server, backend):
+        exp = build_filled(server)
+        query = QUERY_BATTERY["avg"]
+        before = query_outcome(exp, query(), cache=True)
+        fill_simple(exp, techniques=("extra",), reps=1)
+        after = query_outcome(exp, query(), cache=True)
+        return {"before": before, "after": after}
+    run_differential(scenario)

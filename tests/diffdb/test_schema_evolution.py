@@ -1,0 +1,77 @@
+"""Schema evolution (add/remove/modify variable) must behave
+identically on every backend — including how existing runs read back
+after ALTERs and how queries see the evolved schema."""
+
+import pytest
+
+from repro.core import DataType, Occurrence, Parameter, Result, RunData
+from repro.testing import query_outcome, run_differential, snapshot_store
+from tests.diffdb.conftest import QUERY_BATTERY, build_filled
+
+pytestmark = pytest.mark.diffdb
+
+
+def test_add_variable_roundtrip():
+    def scenario(server, backend):
+        exp = build_filled(server)
+        exp.add_variable(Parameter(
+            "nodes", datatype=DataType.INTEGER,
+            occurrence=Occurrence.ONCE, default=1))
+        exp.store_run(RunData(
+            once={"technique": "evolved", "fs": "nfs", "nodes": 4},
+            datasets=[{"S_chunk": 64, "access": "write", "bw": 9.5}]))
+        return snapshot_store(exp.store)
+    run_differential(scenario)
+
+
+def test_add_result_then_query():
+    def scenario(server, backend):
+        exp = build_filled(server)
+        exp.add_variable(Result(
+            "latency", datatype=DataType.FLOAT,
+            occurrence=Occurrence.MULTIPLE))
+        exp.store_run(RunData(
+            once={"technique": "new", "fs": "ufs"},
+            datasets=[{"S_chunk": 32, "access": "read",
+                       "bw": 40.0, "latency": 0.25}]))
+        return query_outcome(exp, QUERY_BATTERY["avg"]())
+    run_differential(scenario)
+
+
+def test_remove_variable_roundtrip():
+    def scenario(server, backend):
+        exp = build_filled(server)
+        exp.remove_variable("fs")
+        return snapshot_store(exp.store)
+    run_differential(scenario)
+
+
+def test_modify_variable_roundtrip():
+    def scenario(server, backend):
+        exp = build_filled(server)
+        exp.modify_variable(Parameter(
+            "access", datatype=DataType.STRING,
+            occurrence=Occurrence.MULTIPLE,
+            synopsis="access direction"))
+        return snapshot_store(exp.store)
+    run_differential(scenario)
+
+
+def test_evolution_sequence_then_battery():
+    """A full evolve-store-query sequence, compared end to end."""
+    def scenario(server, backend):
+        exp = build_filled(server)
+        exp.add_variable(Parameter(
+            "nodes", datatype=DataType.INTEGER,
+            occurrence=Occurrence.ONCE, default=1))
+        exp.remove_variable("fs")
+        exp.store_run(RunData(
+            once={"technique": "new", "nodes": 8},
+            datasets=[{"S_chunk": 1024, "access": "write",
+                       "bw": 33.0}]))
+        return {
+            "store": snapshot_store(exp.store),
+            "avg": query_outcome(exp, QUERY_BATTERY["avg"]()),
+            "median": query_outcome(exp, QUERY_BATTERY["median"]()),
+        }
+    run_differential(scenario)

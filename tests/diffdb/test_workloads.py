@@ -1,0 +1,79 @@
+"""Workload suites on both backends: the MPI ping-pong campaign with
+its XML-defined analysis queries, and the correctness test-suite
+workload — end-to-end import + query, identical everywhere."""
+
+import pytest
+
+from repro import Experiment
+from repro.core import (DataType, Occurrence, Parameter, Result,
+                        RunData, Unit)
+from repro.parse import Importer
+from repro.testing import query_outcome, run_differential, snapshot_store
+from repro.workloads.mpibench import PingPongConfig, PingPongSimulator
+from repro.workloads.mpibench_assets import (crossover_query_xml,
+                                             experiment_xml, input_xml,
+                                             latency_query_xml)
+from repro.workloads.testsuite import TestSuiteConfig, TestSuiteSimulator
+from repro.xmlio import (parse_experiment_xml, parse_input_xml,
+                         parse_query_xml)
+
+pytestmark = pytest.mark.diffdb
+
+
+def build_pingpong(server):
+    definition = parse_experiment_xml(experiment_xml())
+    exp = Experiment.create(server, definition.name,
+                            list(definition.variables), definition.info)
+    importer = Importer(exp, parse_input_xml(input_xml()))
+    for interconnect in ("myrinet", "gige"):
+        for seed in range(3):
+            sim = PingPongSimulator(PingPongConfig(
+                interconnect=interconnect,
+                hostpair=f"n{seed:02d}-n{seed + 1:02d}", seed=seed))
+            importer.import_text(sim.generate(), sim.filename)
+    return exp
+
+
+def test_pingpong_campaign_roundtrip():
+    def scenario(server, backend):
+        return snapshot_store(build_pingpong(server).store)
+    run_differential(scenario)
+
+
+@pytest.mark.parametrize("query_xml", ["latency", "crossover"])
+def test_pingpong_xml_queries(query_xml):
+    """The workload's own XML-defined analyses, end to end."""
+    xml = {"latency": latency_query_xml,
+           "crossover": crossover_query_xml}[query_xml]
+
+    def scenario(server, backend):
+        exp = build_pingpong(server)
+        query = parse_query_xml(xml())
+        return query_outcome(exp, query)
+    run_differential(scenario)
+
+
+def build_testsuite(server):
+    """Correctness-tracking experiment fed by the test-suite logs."""
+    exp = Experiment.create(server, "correctness", [
+        Parameter("revision", datatype=DataType.STRING),
+        Parameter("platform", datatype=DataType.STRING),
+        Result("errors", datatype=DataType.INTEGER),
+    ])
+    for revision, broken in (("r100", ()), ("r101", ("io",)),
+                             ("r102", ())):
+        sim = TestSuiteSimulator(TestSuiteConfig(
+            revision=revision, broken=broken))
+        rows = sim.outcomes()
+        errors = sum(1 for _, status, _ in rows if status == "FAIL")
+        exp.store_run(RunData(once={
+            "revision": revision, "platform": "linux-x86",
+            "errors": errors}))
+    return exp
+
+
+def test_testsuite_regression_tracking():
+    def scenario(server, backend):
+        exp = build_testsuite(server)
+        return snapshot_store(exp.store)
+    run_differential(scenario)
