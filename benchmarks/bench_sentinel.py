@@ -1,0 +1,162 @@
+"""E12: regression sentinel — capture and check latency, detection
+proof, and the tracing overhead one sentinel sample pays.
+
+Emits the ``benchmarks/BENCH_pr7.json`` trajectory point: wall time of
+a 5-sample baseline capture and of a ``perfbase check`` against a
+baselines experiment filled to 160 stored sample runs, plus the
+per-sample overhead of running the workload under tracing vs untraced.
+
+Overhead budget: a traced sentinel sample must stay within **3x** of
+the untraced workload run.  The fig8 workload executes in a few
+milliseconds, so the fixed per-span cost of the JSON-lines sink (~50
+span records per run) is a sizeable fraction of it — observed around
++60..100% on this micro workload, and proportionally far smaller on
+any real one.  The budget is deliberately generous because CI machines
+are noisy; a failing assert should mean a real instrumentation
+regression, not scheduler jitter.
+
+Headline numbers use ``time.perf_counter`` so the smoke run works
+under ``--benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro import Experiment, MemoryDatabaseServer
+from repro.faults import FaultPlan, use_faults
+from repro.sentinel import (BaselineStore, CheckOptions, EXPERIMENT_NAME,
+                            capture_baseline, get_workload, run_check)
+from _helpers import report
+
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_pr7.json"
+
+#: the baselines experiment is pre-filled to this many sample runs so
+#: the check latency is measured against a grown history, not an empty
+#: experiment
+TARGET_RUNS = 160
+
+CHECK_OPTIONS = CheckOptions(min_samples=4)
+
+
+def write_synthetic_trace(path, sample):
+    """One synthetic sample trace of the fixed two-element shape."""
+    wobble = 1e-5 * (sample % 5)
+    records = []
+    t = 100.0
+    for i, (name, kind, wall, rows) in enumerate([
+            ("src", "source", 0.010 + wobble, 16),
+            ("agg", "operator", 0.005 + wobble, 8)], start=1):
+        records.append({
+            "type": "span", "span_id": i, "parent_id": None,
+            "name": name, "kind": kind, "start": t, "end": t + wall,
+            "cpu_start": t, "cpu_end": t + wall * 0.9,
+            "attributes": {"rows": rows}})
+        t += wall
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    """A server whose baselines experiment holds ``TARGET_RUNS``
+    synthetic history runs; the live capture below grows it further."""
+    directory = tmp_path_factory.mktemp("sentinel_bench")
+    server = MemoryDatabaseServer()
+    store = BaselineStore(server)
+    n_baselines, samples_each = 20, 8     # 160 runs of history
+    for b in range(n_baselines):
+        paths = [write_synthetic_trace(
+            directory / f"hist_{b:02d}_{i}.jsonl", i)
+            for i in range(samples_each)]
+        store.add(f"hist_{b:02d}", "fig8", paths)
+    store.close()
+    return server
+
+
+def baseline_run_count(server):
+    exp = Experiment.open(server, EXPERIMENT_NAME)
+    try:
+        return len(exp.run_indices())
+    finally:
+        exp.close()
+
+
+class TestSentinelLatency:
+    def test_trajectory_point(self, server, tmp_path):
+        # -- live capture: 5 traced workload executions + import
+        t0 = time.perf_counter()
+        info = capture_baseline(server, "head", samples=5,
+                                workdir=tmp_path / "cap")
+        capture_ms = (time.perf_counter() - t0) * 1e3
+        assert info.n_samples == 5
+
+        runs = baseline_run_count(server)
+        assert runs >= TARGET_RUNS  # 160 history + 5 capture
+
+        # -- clean check against the grown experiment
+        t0 = time.perf_counter()
+        outcome = run_check(server, against="head", samples=2,
+                            options=CHECK_OPTIONS,
+                            workdir=tmp_path / "chk")
+        check_ms = (time.perf_counter() - t0) * 1e3
+        assert outcome.exit_code == 0, \
+            outcome.reports[0].render()
+
+        # -- detection proof: a planted 5ms/statement latency fault
+        #    must flip the verdict to exit 3
+        with use_faults(FaultPlan.parse("latency@db.run:ms=5")):
+            planted = run_check(server, against="head", samples=2,
+                                options=CHECK_OPTIONS,
+                                workdir=tmp_path / "bad")
+        assert planted.exit_code == 3
+
+        # -- per-sample tracing overhead vs the untraced workload
+        wl = get_workload("fig8")
+        wl.ensure(server)
+        from repro.xmlio import parse_query_xml
+
+        def untraced_once():
+            exp = Experiment.open(server, wl.workspace)
+            try:
+                parse_query_xml(wl.query_xml()).execute(exp)
+            finally:
+                exp.close()
+
+        def traced_once(i):
+            wl.run_once(server, tmp_path / f"ovh_{i}.jsonl")
+
+        def median_ms(fn, n=7):
+            times = []
+            for i in range(n):
+                t0 = time.perf_counter()
+                fn(i)
+                times.append((time.perf_counter() - t0) * 1e3)
+            return sorted(times)[n // 2]
+
+        untraced_ms = median_ms(lambda i: untraced_once())
+        traced_ms = median_ms(traced_once)
+        overhead_pct = 100.0 * (traced_ms - untraced_ms) / untraced_ms
+        assert traced_ms < untraced_ms * 3.0, \
+            f"tracing overhead blew the 3x budget: {overhead_pct:.1f}%"
+
+        payload = {
+            "pr": 7,
+            "bench": "sentinel",
+            "baseline_runs": runs,
+            "capture_samples": 5,
+            "capture_ms": round(capture_ms, 2),
+            "check_samples": 2,
+            "check_ms": round(check_ms, 2),
+            "untraced_run_ms": round(untraced_ms, 3),
+            "traced_run_ms": round(traced_ms, 3),
+            "overhead_pct": round(overhead_pct, 1),
+            "planted_latency_detected": planted.exit_code == 3,
+        }
+        BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+        report("sentinel_trajectory",
+               json.dumps(payload, indent=2))

@@ -83,3 +83,28 @@ perfbase fsck -e fixture --dbdir "$FSCK_DIR" --dry-run \
     && { echo "fsck --dry-run missed the damage"; exit 1; } || test $? -eq 4
 perfbase fsck -e fixture --dbdir "$FSCK_DIR"
 perfbase fsck -e fixture --dbdir "$FSCK_DIR" --dry-run
+
+echo "== sentinel: regression-sentinel battery (pytest -m sentinel) =="
+python -m pytest -q -p no:randomly -m sentinel tests
+
+echo "== sentinel: baseline -> planted latency -> perfbase check exits 3 =="
+SENTINEL_DIR="$(mktemp -d)"
+trap 'rm -rf "$FSCK_DIR" "$SENTINEL_DIR"' EXIT
+perfbase baseline add ci --samples 4 --dbdir "$SENTINEL_DIR"
+# subshell: a VAR=x prefix on a shell *function* call leaks the
+# assignment in some POSIX shells, which would poison the clean re-run
+( export PERFBASE_FAULTS="latency@db.run:ms=5"
+  perfbase check --against ci --samples 2 --min-samples 4 \
+      --dbdir "$SENTINEL_DIR" ) \
+    && { echo "check missed the planted slowdown"; exit 1; } \
+    || test $? -eq 3
+# a clean re-run of the same check must pass again
+perfbase check --against ci --samples 2 --min-samples 4 \
+    --dbdir "$SENTINEL_DIR"
+# baselines must survive a consistency pass over their experiment
+perfbase fsck -e perfbase_sentinel --dbdir "$SENTINEL_DIR" --dry-run
+
+echo "== sentinel: bench smoke (writes benchmarks/BENCH_pr7.json) =="
+python -m pytest -q -p no:randomly --benchmark-disable \
+    benchmarks/bench_sentinel.py
+test -s benchmarks/BENCH_pr7.json

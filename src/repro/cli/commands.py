@@ -430,7 +430,19 @@ def _register_admin(sub) -> None:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """Automatic analysis: outliers and regressions."""
+    """Automatic analysis: outliers and regressions.
+
+    Two modes share the subcommand: with ``-n RESULT`` the PR3
+    analysis sweep runs over one experiment's stored results; with
+    ``--against``/``--all`` (or neither flag and no ``-n``) the
+    regression sentinel re-runs the workload suite and compares
+    against stored baselines, exiting 3 on a regression.
+    """
+    if args.against or args.check_all or args.result is None:
+        from .sentinel import cmd_check_sentinel
+        return cmd_check_sentinel(args)
+    if not args.experiment:
+        raise CommandError("check -n needs -e EXPERIMENT")
     exp = open_experiment(args)
     group = args.group or []
     found = False
@@ -472,15 +484,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def _register_check(sub) -> None:
     p = sub.add_parser(
-        "check", help="automatic analysis: outliers and regressions")
-    add_experiment_argument(p)
-    p.add_argument("-n", "--result", required=True,
-                   help="result variable to analyse")
+        "check",
+        help="automatic analysis (-n): outliers and regressions; "
+             "sentinel mode (--against/--all): compare a fresh "
+             "workload run against stored baselines")
+    p.add_argument("-e", "--experiment",
+                   help="experiment to analyse (-n mode only)")
+    p.add_argument("-n", "--result",
+                   help="result variable to analyse (omit for "
+                        "sentinel mode)")
     p.add_argument("--group", action="append", metavar="NAME",
                    help="grouping parameter (repeatable)")
     p.add_argument("--kind", choices=("outliers", "regressions", "all"),
                    default="all")
     p.add_argument("--threshold", type=float, default=3.5)
+    from .sentinel import add_sentinel_check_arguments
+    add_sentinel_check_arguments(p)
     add_obs_arguments(p)
     add_dbdir_argument(p)
     p.set_defaults(func=cmd_check)
@@ -852,3 +871,5 @@ def register_all(sub) -> None:
     _register_cache(sub)
     _register_fsck(sub)
     _register_obs(sub)
+    from .sentinel import register_sentinel
+    register_sentinel(sub)

@@ -30,6 +30,13 @@ Fault kinds
     A simulated cluster-node failure (:class:`NodeDeathFault`).  The
     parallel executor degrades gracefully: the dead node's remaining
     elements are re-placed on the surviving nodes.
+``latency``
+    A planted slowdown: the check *sleeps* for the rule's ``ms``
+    milliseconds instead of raising — the only fault kind that returns
+    normally.  This is how a Fig-8 style performance bug is injected
+    for the regression sentinel (``perfbase check``): a rule like
+    ``latency@db.run:ms=25`` makes every matching database statement
+    slower without changing any result.
 
 Activation
 ----------
@@ -52,6 +59,8 @@ plus global options (currently ``seed=N``).  Rule keys:
 ``times``  maximum number of fires (default unlimited);
 ``after``  skip the first N matching checks;
 ``every``  fire only on every K-th eligible check;
+``ms``     sleep duration in milliseconds (``latency`` rules only,
+           default 1.0);
 anything else is matched against the check's context (e.g. ``node=1``
 matches only checks carrying ``node=1``).
 
@@ -68,6 +77,7 @@ import os
 import random
 import sqlite3
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -85,7 +95,7 @@ __all__ = [
 #: environment variable holding a fault-plan spec for CLI invocations
 ENV_FAULTS = "PERFBASE_FAULTS"
 
-KINDS = ("lock", "io", "crash", "node_death")
+KINDS = ("lock", "io", "crash", "node_death", "latency")
 
 
 # -- injected exception types -------------------------------------------------
@@ -138,6 +148,7 @@ _EXCEPTIONS = {
     "crash": lambda site, ctx: CrashFault(site),
     "node_death": lambda site, ctx: NodeDeathFault(
         site, int(ctx.get("node", -1))),
+    # "latency" raises nothing: FaultPlan.check sleeps instead
 }
 
 
@@ -154,6 +165,7 @@ class FaultRule:
     times: int | None = None      #: max fires (None = unlimited)
     after: int = 0                #: skip the first N matching checks
     every: int = 1                #: fire on every K-th eligible check
+    ms: float = 1.0               #: sleep duration (latency rules only)
     where: dict[str, str] = field(default_factory=dict)
     #: bookkeeping (mutated under the plan lock)
     seen: int = 0
@@ -234,8 +246,8 @@ class FaultPlan:
                 if not sep or not value:
                     raise DefinitionError(
                         f"bad fault-rule option {option!r} in {chunk!r}")
-                if key == "p":
-                    kwargs["p"] = float(value)
+                if key in ("p", "ms"):
+                    kwargs[key] = float(value)
                 elif key in ("times", "after", "every"):
                     kwargs[key] = int(value)
                 else:
@@ -246,7 +258,7 @@ class FaultPlan:
 
     def add(self, kind: str, site: str, **options: Any) -> FaultRule:
         """Append one rule programmatically; returns it."""
-        known = {"p", "times", "after", "every"}
+        known = {"p", "times", "after", "every", "ms"}
         kwargs = {k: v for k, v in options.items() if k in known}
         where = {k: str(v) for k, v in options.items()
                  if k not in known}
@@ -282,6 +294,10 @@ class FaultPlan:
         if armed is None:
             return
         self._count(armed.kind)
+        if armed.kind == "latency":
+            # the one fault that returns normally: a planted slowdown
+            time.sleep(armed.ms / 1e3)
+            return
         raise _EXCEPTIONS[armed.kind](site, ctx)
 
     @staticmethod

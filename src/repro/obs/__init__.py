@@ -30,7 +30,8 @@ With no active tracer the instrumented layers only pay one
 context-variable read per operation.
 """
 
-from .diff import SpanSetDelta, TraceDiff, diff_traces
+from .diff import (RegressionReason, RegressionRecord, SpanSetDelta,
+                   TraceDiff, diff_traces)
 from .explain import ElementStats, collect_element_stats, explain
 from .metrics import Counter, Gauge, Histogram, Metrics
 from .profile import ElementTiming, QueryProfile
@@ -43,7 +44,8 @@ from .tracer import (Tracer, current_span, current_tracer, maybe_span,
                      use_tracer)
 
 __all__ = [
-    "SpanSetDelta", "TraceDiff", "diff_traces",
+    "RegressionReason", "RegressionRecord", "SpanSetDelta",
+    "TraceDiff", "diff_traces",
     "ElementStats", "collect_element_stats", "explain",
     "Counter", "Gauge", "Histogram", "Metrics",
     "ElementTiming", "QueryProfile",

@@ -12,9 +12,13 @@ element, statement class or transfer) and each group's call count,
 summed wall time and row count are compared.  A group whose wall time
 grew beyond a configurable threshold (and a noise floor) is flagged as
 a **regression**; groups that shrank accordingly count as improvements.
-``perfbase trace-diff`` exposes this with ``--fail-on-regression`` for
-CI wiring, and the benchmark harness uses it for the PR trajectory
-point.
+Each flagged group carries a structured :class:`RegressionReason`
+(metric, baseline value, observed value, thresholds) that both
+``perfbase trace-diff`` and the continuous sentinel
+(:mod:`repro.sentinel`) render — and serialise — from, so ASCII report
+and machine-readable verdict always agree.  ``perfbase trace-diff``
+exposes this with ``--fail-on-regression`` for CI wiring, and the
+benchmark harness uses it for the PR trajectory point.
 """
 
 from __future__ import annotations
@@ -24,7 +28,76 @@ from typing import Iterable, Sequence
 
 from .spans import ELEMENT_KINDS, Span
 
-__all__ = ["SpanSetDelta", "TraceDiff", "diff_traces"]
+__all__ = ["RegressionReason", "RegressionRecord", "SpanSetDelta",
+           "TraceDiff", "diff_traces"]
+
+
+@dataclass(frozen=True)
+class RegressionReason:
+    """Why a comparison flagged a regression, as structured data.
+
+    Carries the metric that moved, both values and the thresholds that
+    were exceeded — renderers (``perfbase trace-diff``, the sentinel's
+    check report) format it; nothing stores preformatted strings, so a
+    machine-readable verdict can serialise the same record the ASCII
+    report shows.
+    """
+
+    metric: str            #: e.g. ``wall_s``, ``cpu_s``, ``rows``
+    baseline: float
+    observed: float
+    threshold: float       #: relative growth limit that was exceeded
+    min_value: float = 0.0  #: absolute floor that was also cleared
+    unit: str = "s"
+
+    @property
+    def delta(self) -> float:
+        return self.observed - self.baseline
+
+    @property
+    def relative_change(self) -> float:
+        """(observed - baseline) / |baseline|; ``inf`` from zero."""
+        if self.baseline == 0.0:
+            return float("inf") if self.observed else 0.0
+        return self.delta / abs(self.baseline)
+
+    def _fmt(self, value: float) -> str:
+        if self.unit == "s":
+            return f"{value * 1e3:.3f}ms"
+        if self.unit in ("rows", "bytes", ""):
+            return f"{value:g}"
+        return f"{value:g}{self.unit}"
+
+    def describe(self) -> str:
+        """One-line human rendering of the structured record."""
+        rel = self.relative_change
+        change = ("from zero baseline" if rel == float("inf")
+                  else f"{100 * rel:+.1f}%")
+        text = (f"{self.metric} {self._fmt(self.baseline)} -> "
+                f"{self._fmt(self.observed)} ({change}, "
+                f"threshold {100 * self.threshold:+.0f}%")
+        if self.min_value:
+            text += f", floor {self._fmt(self.min_value)}"
+        return text + ")"
+
+    def to_dict(self) -> dict:
+        """JSON-able form for verdict files."""
+        return {"metric": self.metric, "baseline": self.baseline,
+                "observed": self.observed, "threshold": self.threshold,
+                "min_value": self.min_value, "unit": self.unit,
+                "relative_change": self.relative_change}
+
+
+@dataclass(frozen=True)
+class RegressionRecord:
+    """One flagged span set: its identity plus the structured reason."""
+
+    kind: str
+    name: str
+    reason: RegressionReason
+
+    def describe(self) -> str:
+        return f"{self.name} [{self.kind}]: {self.reason.describe()}"
 
 
 @dataclass
@@ -61,6 +134,16 @@ class SpanSetDelta:
         return (self.base_wall > self.new_wall * (1.0 + threshold)
                 and -self.wall_delta >= min_seconds)
 
+    def regression_reason(self, threshold: float, min_seconds: float
+                          ) -> RegressionReason | None:
+        """Structured reason when this delta is a regression."""
+        if not self.is_regression(threshold, min_seconds):
+            return None
+        return RegressionReason(
+            metric="wall_s", baseline=self.base_wall,
+            observed=self.new_wall, threshold=threshold,
+            min_value=min_seconds, unit="s")
+
 
 @dataclass
 class TraceDiff:
@@ -80,6 +163,16 @@ class TraceDiff:
     def improvements(self) -> list[SpanSetDelta]:
         return [d for d in self.deltas
                 if d.is_improvement(self.threshold, self.min_seconds)]
+
+    def regression_records(self) -> list[RegressionRecord]:
+        """Every regression with its structured reason attached."""
+        records = []
+        for d in self.deltas:
+            reason = d.regression_reason(self.threshold,
+                                         self.min_seconds)
+            if reason is not None:
+                records.append(RegressionRecord(d.kind, d.name, reason))
+        return records
 
     @property
     def has_regressions(self) -> bool:
@@ -111,6 +204,8 @@ class TraceDiff:
                 f"{d.base_calls:>5}/{d.new_calls:<5} "
                 f"{d.base_wall * 1e3:>11.3f} {d.new_wall * 1e3:>11.3f} "
                 f"{delta:>8}  {flag}".rstrip())
+        for record in self.regression_records():
+            lines.append(f"regression: {record.describe()}")
         for kind, name in self.only_base:
             lines.append(f"only in base trace: {name} [{kind}]")
         n_reg = len(self.regressions())

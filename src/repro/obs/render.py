@@ -16,11 +16,25 @@ like the rest of perfbase's terminal output.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from .spans import Span
 
-__all__ = ["timeline"]
+__all__ = ["timeline", "table"]
+
+
+def table(rows: Sequence[Sequence[Any]],
+          columns: Sequence[tuple[str, str]], title: str) -> str:
+    """Render rows through the regular ASCII-table output format.
+
+    Public face of the renderer behind the trace summary and metrics
+    tables; the regression sentinel's check report uses it so sentinel
+    output reads like every other perfbase table.  ``columns`` are
+    ``(name, datatype)`` pairs with datatype one of ``string``,
+    ``integer``, ``float``; rows are sorted by the first column.
+    """
+    from .sinks import _render_ascii
+    return _render_ascii(rows, columns, title)
 
 #: span kinds hidden by default: per-statement DB spans dominate the
 #: row count without adding timeline structure

@@ -1,0 +1,278 @@
+"""Statistical trace comparison: fresh samples vs a stored baseline.
+
+Where PR2's ``trace-diff`` compares two single traces with a fixed
+relative threshold, the sentinel compares *distributions*: every
+element contributes N baseline samples and M fresh samples per metric
+(wall/CPU seconds, rows, bytes), and a fresh median is flagged only
+when it is
+
+* a statistical outlier against the baseline sample
+  (:func:`repro.analysis.outliers.outlier_mask`, configurable method
+  and ``sensitivity``),
+* slower (for time metrics — getting faster never fails a check),
+* beyond a relative floor (``min_change``) **and** an absolute floor
+  (``min_seconds``) — so neither noisy nor microscopic elements spam
+  the verdict.
+
+Count metrics (rows, bytes) are deterministic for a declared workload,
+so any median change at all is a behavioural regression.  Each flagged
+metric carries the structured
+:class:`~repro.obs.diff.RegressionReason` that ``trace-diff`` also
+uses; the ASCII report and the machine-readable verdict both render
+from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..analysis.outliers import METHODS, outlier_mask
+from ..core.errors import DefinitionError
+from ..obs.diff import RegressionReason
+from ..obs.render import table
+from .store import ElementSamples
+
+__all__ = ["CheckOptions", "MetricComparison", "ElementVerdict",
+           "CheckReport", "compare_samples"]
+
+#: metrics gated statistically (time) vs exactly (deterministic counts)
+TIME_METRICS = ("wall_s", "cpu_s")
+COUNT_METRICS = ("rows", "bytes")
+
+
+@dataclass(frozen=True)
+class CheckOptions:
+    """Tunables of one comparison (CLI flags map 1:1)."""
+
+    sensitivity: float = 4.0     #: outlier score cut (MAD z-score)
+    method: str = "mad"          #: outlier detector
+    min_samples: int = 4         #: baseline samples needed per element
+    min_change: float = 0.5      #: relative growth floor (0.5 = +50%)
+    min_seconds: float = 0.002   #: absolute growth floor for time
+
+    def __post_init__(self):
+        if self.method not in METHODS:
+            raise DefinitionError(
+                f"unknown outlier method {self.method!r} "
+                f"(known: {', '.join(METHODS)})")
+        if self.min_samples < 1:
+            raise DefinitionError("min_samples must be positive")
+        if self.sensitivity <= 0:
+            raise DefinitionError("sensitivity must be positive")
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One element's one metric: both medians plus the verdict."""
+
+    metric: str
+    unit: str
+    baseline: float          #: median of the baseline samples
+    observed: float          #: median of the fresh samples
+    n_baseline: int
+    n_observed: int
+    reason: RegressionReason | None = None  #: set iff regression
+    improved: bool = False
+
+    @property
+    def is_regression(self) -> bool:
+        return self.reason is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        out = {"metric": self.metric, "unit": self.unit,
+               "baseline": self.baseline, "observed": self.observed,
+               "n_baseline": self.n_baseline,
+               "n_observed": self.n_observed,
+               "regression": self.is_regression,
+               "improved": self.improved}
+        if self.reason is not None:
+            out["reason"] = self.reason.to_dict()
+        return out
+
+
+@dataclass
+class ElementVerdict:
+    """All metric comparisons of one query element."""
+
+    element: str
+    kind: str
+    comparisons: list[MetricComparison] = field(default_factory=list)
+    #: set when the element could not be judged (e.g. too few samples)
+    skipped: str | None = None
+
+    def regressions(self) -> list[MetricComparison]:
+        return [c for c in self.comparisons if c.is_regression]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"element": self.element, "kind": self.kind,
+                "skipped": self.skipped,
+                "metrics": [c.to_dict() for c in self.comparisons]}
+
+
+@dataclass
+class CheckReport:
+    """Result of comparing one baseline against fresh samples."""
+
+    baseline: str
+    workload: str
+    options: CheckOptions
+    verdicts: list[ElementVerdict] = field(default_factory=list)
+    #: structural drift: elements on only one side of the comparison
+    only_baseline: list[str] = field(default_factory=list)
+    only_check: list[str] = field(default_factory=list)
+
+    def regressions(self) -> list[tuple[ElementVerdict,
+                                        MetricComparison]]:
+        return [(v, c) for v in self.verdicts
+                for c in v.regressions()]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions())
+
+    @property
+    def verdict(self) -> str:
+        return "regression" if self.has_regressions else "pass"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "baseline": self.baseline,
+            "workload": self.workload,
+            "verdict": self.verdict,
+            "options": {
+                "sensitivity": self.options.sensitivity,
+                "method": self.options.method,
+                "min_samples": self.options.min_samples,
+                "min_change": self.options.min_change,
+                "min_seconds": self.options.min_seconds,
+            },
+            "elements": [v.to_dict() for v in self.verdicts],
+            "only_baseline": list(self.only_baseline),
+            "only_check": list(self.only_check),
+        }
+
+    def render(self) -> str:
+        """ASCII check report (through :func:`repro.obs.render.table`)."""
+        rows = []
+        for v in self.verdicts:
+            for c in v.comparisons:
+                if c.baseline or c.observed:
+                    if c.baseline:
+                        delta = 100.0 * (c.observed - c.baseline) \
+                            / abs(c.baseline)
+                    else:
+                        delta = float("inf")
+                else:
+                    delta = 0.0
+                flag = ("REGRESSION" if c.is_regression
+                        else "improved" if c.improved else "")
+                rows.append([v.element, v.kind, c.metric,
+                             c.baseline, c.observed, delta, flag])
+        title = (f"check {self.workload!r} against baseline "
+                 f"{self.baseline!r}")
+        text = table(rows,
+                     [("element", "string"), ("kind", "string"),
+                      ("metric", "string"), ("base", "float"),
+                      ("new", "float"), ("delta_pct", "float"),
+                      ("flag", "string")],
+                     title)
+        lines = [text.rstrip("\n")]
+        for v in self.verdicts:
+            if v.skipped:
+                lines.append(f"skipped: {v.element} [{v.kind}]: "
+                             f"{v.skipped}")
+        for v, c in self.regressions():
+            lines.append(f"regression: {v.element} [{v.kind}]: "
+                         f"{c.reason.describe()}")
+        for element in self.only_baseline:
+            lines.append(f"only in baseline: {element}")
+        for element in self.only_check:
+            lines.append(f"only in fresh run: {element}")
+        n_reg = len(self.regressions())
+        lines.append(f"{n_reg} regression(s) over "
+                     f"{len(self.verdicts)} element(s); "
+                     f"verdict: {self.verdict.upper()}")
+        return "\n".join(lines) + "\n"
+
+
+def _median(values: list[float]) -> float:
+    return float(np.median(np.asarray(values, dtype=float)))
+
+
+def _compare_time(metric: str, base: list[float], fresh: list[float],
+                  options: CheckOptions) -> MetricComparison:
+    base_med = _median(base)
+    observed = _median(fresh)
+    delta = observed - base_med
+    rel = (delta / abs(base_med) if base_med
+           else (float("inf") if delta > 0 else 0.0))
+    combined = np.append(np.asarray(base, dtype=float), observed)
+    flagged = bool(outlier_mask(combined, method=options.method,
+                                threshold=options.sensitivity)[-1])
+    reason = None
+    if (flagged and delta > 0 and rel >= options.min_change
+            and delta >= options.min_seconds):
+        reason = RegressionReason(
+            metric=metric, baseline=base_med, observed=observed,
+            threshold=options.min_change,
+            min_value=options.min_seconds, unit="s")
+    improved = (flagged and delta < 0 and -rel >= options.min_change
+                and -delta >= options.min_seconds)
+    return MetricComparison(
+        metric=metric, unit="s", baseline=base_med, observed=observed,
+        n_baseline=len(base), n_observed=len(fresh),
+        reason=reason, improved=improved)
+
+
+def _compare_count(metric: str, base: list[float], fresh: list[float]
+                   ) -> MetricComparison:
+    base_med = _median(base)
+    observed = _median(fresh)
+    reason = None
+    if observed != base_med:
+        # a declared workload moves a deterministic number of rows;
+        # any change is behavioural, not noise
+        reason = RegressionReason(
+            metric=metric, baseline=base_med, observed=observed,
+            threshold=0.0, unit=metric)
+    return MetricComparison(
+        metric=metric, unit=metric, baseline=base_med,
+        observed=observed, n_baseline=len(base),
+        n_observed=len(fresh), reason=reason)
+
+
+def compare_samples(baseline: str, workload: str,
+                    base: dict[str, ElementSamples],
+                    fresh: dict[str, ElementSamples],
+                    options: CheckOptions | None = None
+                    ) -> CheckReport:
+    """Compare per-element distributions of a baseline vs fresh runs."""
+    options = options or CheckOptions()
+    report = CheckReport(baseline=baseline, workload=workload,
+                         options=options)
+    for element in sorted(set(base) | set(fresh)):
+        if element not in fresh:
+            report.only_baseline.append(element)
+            continue
+        if element not in base:
+            report.only_check.append(element)
+            continue
+        b, f = base[element], fresh[element]
+        verdict = ElementVerdict(element=element, kind=b.kind)
+        n = b.n()
+        if n < options.min_samples:
+            verdict.skipped = (f"only {n} baseline sample(s), "
+                               f"need {options.min_samples}")
+            report.verdicts.append(verdict)
+            continue
+        for metric in TIME_METRICS:
+            verdict.comparisons.append(_compare_time(
+                metric, b.values[metric], f.values[metric], options))
+        for metric in COUNT_METRICS:
+            verdict.comparisons.append(_compare_count(
+                metric, b.values[metric], f.values[metric]))
+        report.verdicts.append(verdict)
+    return report

@@ -1,0 +1,131 @@
+"""The sentinel workload suite: declared, re-runnable measurements.
+
+A sentinel workload is a named, deterministic perfbase job — a query
+over a synthetic campaign — that can be re-executed at any time under
+PR1 tracing to produce a JSON-lines sample trace.  Capturing a baseline
+runs the workload N times and stores the traces; ``perfbase check``
+runs it again and compares the fresh element distributions against the
+stored ones.  The workload's *structure* (element names, row counts) is
+deterministic; only the timings vary — which is exactly what makes the
+per-element statistics meaningful.
+
+Workloads execute against a scratch *workspace* experiment (created on
+first use in the same database directory, prefixed ``sentinel_ws_``)
+with the query cache disabled, so every sample measures honest
+end-to-end execution.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.experiment import Experiment
+from ..core.errors import DefinitionError
+from ..db.backend import DatabaseServer
+from ..obs import JsonLinesSink, Tracer, use_tracer
+from ..parse.importer import Importer
+from ..workloads.beffio import generate_campaign
+from ..workloads import beffio_assets
+from ..xmlio import (parse_experiment_xml, parse_input_xml,
+                     parse_query_xml)
+
+__all__ = ["SentinelWorkload", "SUITE", "get_workload", "run_samples"]
+
+#: workspace experiments carry this prefix in the database directory
+WORKSPACE_PREFIX = "sentinel_ws_"
+
+
+@dataclass(frozen=True)
+class SentinelWorkload:
+    """One member of the suite.
+
+    ``ensure`` creates (idempotently) the workspace experiment the
+    workload queries; ``query_xml`` yields the query specification it
+    executes.  One sample = one traced execution of that query.
+    """
+
+    name: str
+    synopsis: str
+    workspace: str
+    ensure: Callable[[DatabaseServer], None]
+    query_xml: Callable[[], str]
+
+    def run_once(self, server: DatabaseServer, trace_path: str | os.PathLike
+                 ) -> None:
+        """Execute the workload once, recording a trace to ``trace_path``."""
+        self.ensure(server)
+        exp = Experiment.open(server, self.workspace)
+        query = parse_query_xml(self.query_xml())
+        tracer = Tracer(JsonLinesSink(trace_path))
+        try:
+            with use_tracer(tracer):
+                query.execute(exp)
+        finally:
+            tracer.close()
+            exp.close()
+
+
+def _ensure_beffio_workspace(server: DatabaseServer) -> None:
+    """Create and fill the b_eff_io workspace experiment once."""
+    name = WORKSPACE_PREFIX + "beffio"
+    if name in server.list_databases():
+        return
+    definition = parse_experiment_xml(beffio_assets.experiment_xml())
+    exp = Experiment.create(server, name,
+                            list(definition.variables), definition.info)
+    try:
+        importer = Importer(exp, parse_input_xml(
+            beffio_assets.input_xml()))
+        with exp.store.batch():
+            for fname, content in generate_campaign(repetitions=2):
+                importer.import_text(content, fname)
+    finally:
+        exp.close()
+
+
+SUITE: dict[str, SentinelWorkload] = {
+    "fig8": SentinelWorkload(
+        name="fig8",
+        synopsis="the paper's Fig-8 listless-vs-listbased query over a "
+                 "small b_eff_io campaign",
+        workspace=WORKSPACE_PREFIX + "beffio",
+        ensure=_ensure_beffio_workspace,
+        query_xml=beffio_assets.fig8_query_xml,
+    ),
+    "stddev": SentinelWorkload(
+        name="stddev",
+        synopsis="the Section 5 statistical-sufficiency query over the "
+                 "same campaign",
+        workspace=WORKSPACE_PREFIX + "beffio",
+        ensure=_ensure_beffio_workspace,
+        query_xml=beffio_assets.stddev_query_xml,
+    ),
+}
+
+DEFAULT_WORKLOAD = "fig8"
+
+
+def get_workload(name: str) -> SentinelWorkload:
+    try:
+        return SUITE[name]
+    except KeyError:
+        raise DefinitionError(
+            f"unknown sentinel workload {name!r} "
+            f"(known: {', '.join(sorted(SUITE))})") from None
+
+
+def run_samples(workload: SentinelWorkload, server: DatabaseServer,
+                n: int, directory: str | os.PathLike, *,
+                label: str = "sample") -> list[str]:
+    """Run ``workload`` ``n`` times; returns the recorded trace paths."""
+    if n < 1:
+        raise DefinitionError("need at least one sample")
+    paths = []
+    for i in range(n):
+        path = os.path.join(os.fspath(directory),
+                            f"{workload.name}_{label}_{i:02d}.jsonl")
+        workload.run_once(server, path)
+        paths.append(path)
+    return paths

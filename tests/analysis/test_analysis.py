@@ -177,3 +177,53 @@ class TestRunRegressions:
             exp.store_run(RunData(once={"rev": "r", "score": score}))
         found = run_regressions(exp, "score", ["rev"])
         assert len(found) == 1 and found[0].run_index == 5
+
+
+class TestOutlierEdgeCases:
+    """The boundary behaviour the regression sentinel relies on: tiny
+    samples, degenerate spreads and NaN series must never flag."""
+
+    @pytest.mark.parametrize("method", ("zscore", "mad", "iqr"))
+    def test_below_three_samples_never_flag(self, method):
+        for values in ([], [5.0], [1.0, 100.0]):
+            assert outlier_mask(values, method).sum() == 0
+
+    @pytest.mark.parametrize("method", ("zscore", "mad", "iqr"))
+    def test_constant_series_unflagged(self, method):
+        mask = outlier_mask([7.0] * 20, method)
+        assert mask.sum() == 0
+
+    @pytest.mark.parametrize("method", ("zscore", "mad", "iqr"))
+    def test_all_nan_series_unflagged(self, method):
+        mask = outlier_mask([np.nan] * 10, method)
+        assert mask.shape == (10,)
+        assert mask.sum() == 0
+
+    def test_nan_plus_too_few_valid_points(self):
+        # 5 entries but only 3 valid: still below the stability cut
+        values = [1.0, np.nan, 2.0, np.nan, 100.0]
+        assert outlier_mask(values, "mad").sum() == 0
+
+    def test_single_outlier_at_score_boundary(self):
+        # a point exactly at the threshold must NOT be flagged: the
+        # comparison is strictly greater-than (sentinel sensitivity
+        # semantics: "score must exceed")
+        base = [10.0, 10.1, 9.9, 10.05, 9.95, 12.0]
+        arr = np.asarray(base)
+        median = np.median(arr)
+        mad = np.median(np.abs(arr - median))
+        assert mad > 0
+        score = 0.6745 * abs(12.0 - median) / mad
+        assert outlier_mask(base, "mad", score).sum() == 0
+        assert outlier_mask(base, "mad", score * 0.999)[-1]
+
+    def test_mad_zero_falls_back_to_mean_abs_dev(self):
+        # median spread is zero but one spike exists: the fallback
+        # (mean absolute deviation) must still catch it
+        values = [3.0] * 9 + [30.0]
+        mask = outlier_mask(values, "mad")
+        assert mask[-1] and mask.sum() == 1
+
+    def test_constant_with_nans_unflagged(self):
+        values = [4.0, 4.0, np.nan, 4.0, 4.0, np.nan]
+        assert outlier_mask(values, "zscore").sum() == 0

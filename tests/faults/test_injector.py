@@ -175,3 +175,37 @@ class TestActivation:
             with pytest.raises(InjectedIOError):
                 inject("import.read")
         assert plan.fired() == 1
+
+
+class TestLatencyKind:
+    """The planted-slowdown fault: sleeps instead of raising."""
+
+    def test_parse_latency_rule(self):
+        plan = FaultPlan.parse("latency@db.run:ms=25")
+        (rule,) = plan.rules
+        assert rule.kind == "latency"
+        assert rule.ms == 25.0
+
+    def test_default_sleep_is_one_ms(self):
+        plan = FaultPlan.parse("latency@db.run")
+        assert plan.rules[0].ms == 1.0
+
+    def test_returns_normally_and_sleeps(self):
+        import time
+        plan = FaultPlan.parse("latency@db.run:ms=20")
+        t0 = time.perf_counter()
+        plan.check("db.run")  # must not raise
+        elapsed = time.perf_counter() - t0
+        assert elapsed >= 0.015
+        assert plan.fired("latency") == 1
+
+    def test_times_limit_applies(self):
+        plan = FaultPlan.parse("latency@db.run:ms=1,times=2")
+        for _ in range(5):
+            plan.check("db.run")
+        assert plan.fired("latency") == 2
+
+    def test_other_sites_untouched(self):
+        plan = FaultPlan.parse("latency@db.run:ms=1")
+        plan.check("db.commit")
+        assert plan.fired() == 0

@@ -108,3 +108,67 @@ class TestReport:
     def test_report_marks_disappeared_sets(self):
         diff = diff_traces(base_spans(), base_spans()[:2])
         assert "only in base trace: out [output]" in diff.report()
+
+
+class TestRegressionReason:
+    """The structured reason carried by every flagged span set."""
+
+    def _diff(self, **kwargs):
+        from repro.obs import diff_traces
+        return diff_traces(base_spans(), slowed_spans(), **kwargs)
+
+    def test_records_carry_structured_fields(self):
+        diff = self._diff(threshold=0.25, min_seconds=0.01)
+        (record,) = diff.regression_records()
+        assert (record.kind, record.name) == ("source", "src")
+        reason = record.reason
+        assert reason.metric == "wall_s"
+        assert reason.baseline == pytest.approx(0.100)
+        assert reason.observed == pytest.approx(0.300)
+        assert reason.threshold == 0.25
+        assert reason.min_value == 0.01
+        assert reason.relative_change == pytest.approx(2.0)
+        assert reason.delta == pytest.approx(0.200)
+
+    def test_describe_renders_all_numbers(self):
+        diff = self._diff(threshold=0.25, min_seconds=0.01)
+        text = diff.regression_records()[0].describe()
+        assert "src [source]" in text
+        assert "100.000ms -> 300.000ms" in text
+        assert "+200.0%" in text
+        assert "threshold +25%" in text
+        assert "floor 10.000ms" in text
+
+    def test_report_and_records_agree(self):
+        diff = self._diff()
+        report = diff.report()
+        for record in diff.regression_records():
+            assert f"regression: {record.describe()}" in report
+
+    def test_no_regressions_no_records(self):
+        from repro.obs import diff_traces
+        diff = diff_traces(base_spans(), base_spans())
+        assert diff.regression_records() == []
+        assert "regression:" not in diff.report()
+
+    def test_to_dict_is_json_able(self):
+        import json
+        diff = self._diff()
+        payload = diff.regression_records()[0].reason.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["metric"] == "wall_s"
+        assert payload["relative_change"] == pytest.approx(2.0)
+
+    def test_zero_baseline_renders_from_zero(self):
+        from repro.obs.diff import RegressionReason
+        reason = RegressionReason(metric="wall_s", baseline=0.0,
+                                  observed=0.010, threshold=0.25)
+        assert reason.relative_change == float("inf")
+        assert "from zero baseline" in reason.describe()
+
+    def test_count_unit_formats_plain(self):
+        from repro.obs.diff import RegressionReason
+        reason = RegressionReason(metric="rows", baseline=10,
+                                  observed=12, threshold=0.0,
+                                  unit="rows")
+        assert "10 -> 12" in reason.describe()

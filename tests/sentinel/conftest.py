@@ -1,0 +1,65 @@
+"""Shared helpers of the sentinel battery: synthetic sample traces.
+
+Store and compare tests do not need to *run* the workload suite — they
+handcraft JSON-lines traces with controlled element timings, which
+keeps them fast and the expected statistics exact.  Only the CLI
+end-to-end tests execute real workload samples.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import MemoryDatabaseServer
+
+
+@pytest.fixture
+def server():
+    # the columnar in-memory server: unlike the shared-cache SQLite
+    # MemoryServer, it survives Experiment.close() + reopen, which the
+    # store does between capture and check
+    return MemoryDatabaseServer()
+
+
+def write_trace(path, elements, *, base=100.0):
+    """Write a minimal sample trace: one span per (name, kind, wall_s,
+    rows) tuple, plus a db span that the import must ignore."""
+    records = []
+    t = base
+    for i, (name, kind, wall, rows) in enumerate(elements, start=1):
+        records.append({
+            "type": "span", "span_id": i, "parent_id": None,
+            "name": name, "kind": kind,
+            "start": t, "end": t + wall,
+            "cpu_start": t, "cpu_end": t + wall * 0.9,
+            "attributes": {"rows": rows},
+        })
+        t += wall
+    records.append({
+        "type": "span", "span_id": 99, "parent_id": None,
+        "name": "stmt", "kind": "db", "start": base, "end": t,
+        "cpu_start": base, "cpu_end": t, "attributes": {},
+    })
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    return os.fspath(path)
+
+
+def write_samples(directory, n, *, src_wall=0.010, agg_wall=0.005,
+                  rows=10, jitter=0.0001):
+    """``n`` sample traces of a fixed two-element workload with tiny
+    deterministic jitter (so MAD is non-zero but small)."""
+    paths = []
+    for i in range(n):
+        wobble = jitter * (i % 3 - 1)
+        path = os.path.join(directory, f"sample_{i:02d}.jsonl")
+        write_trace(path, [
+            ("src", "source", src_wall + wobble, rows),
+            ("agg", "operator", agg_wall + wobble, rows // 2),
+        ])
+        paths.append(path)
+    return paths

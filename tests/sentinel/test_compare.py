@@ -1,0 +1,142 @@
+"""The statistical comparison engine: verdicts, floors, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import DefinitionError
+from repro.sentinel import CheckOptions, compare_samples
+from repro.sentinel.store import METRICS, ElementSamples
+
+
+def samples(element, kind="operator", *, wall, cpu=None, rows=10.0,
+            nbytes=0.0):
+    """Build an ElementSamples with explicit wall times."""
+    cpu = cpu if cpu is not None else [w * 0.9 for w in wall]
+    es = ElementSamples(element=element, kind=kind)
+    es.values["wall_s"] = list(wall)
+    es.values["cpu_s"] = list(cpu)
+    es.values["rows"] = [rows] * len(wall)
+    es.values["bytes"] = [nbytes] * len(wall)
+    return es
+
+
+BASE_WALL = [0.010, 0.0101, 0.0099, 0.0100, 0.0102]
+
+pytestmark = pytest.mark.sentinel
+
+
+class TestVerdicts:
+    def test_identical_distributions_pass(self):
+        base = {"op": samples("op", wall=BASE_WALL)}
+        fresh = {"op": samples("op", wall=BASE_WALL)}
+        report = compare_samples("v1", "fig8", base, fresh)
+        assert report.verdict == "pass"
+        assert not report.has_regressions
+
+    def test_planted_slowdown_flagged_with_reason(self):
+        base = {"op": samples("op", wall=BASE_WALL)}
+        fresh = {"op": samples("op", wall=[0.050, 0.051, 0.049])}
+        report = compare_samples("v1", "fig8", base, fresh)
+        assert report.verdict == "regression"
+        ((verdict, comparison),) = [
+            (v, c) for v, c in report.regressions()
+            if c.metric == "wall_s"]
+        assert verdict.element == "op"
+        reason = comparison.reason
+        assert reason.metric == "wall_s"
+        assert reason.baseline == pytest.approx(0.0100)
+        assert reason.observed == pytest.approx(0.050)
+        assert reason.relative_change == pytest.approx(4.0)
+
+    def test_small_relative_growth_not_flagged(self):
+        # +30% < the 50% relative floor, however sharp the outlier
+        base = {"op": samples("op", wall=BASE_WALL)}
+        fresh = {"op": samples("op", wall=[0.013] * 3)}
+        report = compare_samples("v1", "fig8", base, fresh)
+        assert not report.has_regressions
+
+    def test_absolute_floor_mutes_microscopic_elements(self):
+        # 10x growth on a 0.1ms element stays under the 2ms floor
+        base = {"op": samples("op", wall=[1e-4, 1.01e-4, 0.99e-4,
+                                          1.0e-4, 1.02e-4])}
+        fresh = {"op": samples("op", wall=[1e-3] * 3)}
+        report = compare_samples("v1", "fig8", base, fresh)
+        assert not report.has_regressions
+
+    def test_improvement_never_fails(self):
+        base = {"op": samples("op", wall=[0.050, 0.051, 0.049,
+                                          0.050, 0.052])}
+        fresh = {"op": samples("op", wall=[0.010] * 3)}
+        report = compare_samples("v1", "fig8", base, fresh)
+        assert not report.has_regressions
+        wall = [c for v in report.verdicts for c in v.comparisons
+                if c.metric == "wall_s"][0]
+        assert wall.improved
+
+    def test_row_count_change_is_behavioural_regression(self):
+        base = {"op": samples("op", wall=BASE_WALL, rows=10.0)}
+        fresh = {"op": samples("op", wall=BASE_WALL, rows=12.0)}
+        report = compare_samples("v1", "fig8", base, fresh)
+        assert report.has_regressions
+        ((_, comparison),) = report.regressions()
+        assert comparison.metric == "rows"
+        assert comparison.reason.unit == "rows"
+
+    def test_too_few_baseline_samples_skips(self):
+        base = {"op": samples("op", wall=BASE_WALL[:2])}
+        fresh = {"op": samples("op", wall=[0.050] * 3)}
+        report = compare_samples("v1", "fig8", base, fresh)
+        assert not report.has_regressions
+        assert "2 baseline sample(s)" in report.verdicts[0].skipped
+
+    def test_structural_drift_recorded(self):
+        base = {"old": samples("old", wall=BASE_WALL)}
+        fresh = {"new": samples("new", wall=BASE_WALL)}
+        report = compare_samples("v1", "fig8", base, fresh)
+        assert report.only_baseline == ["old"]
+        assert report.only_check == ["new"]
+        assert not report.has_regressions
+
+
+class TestOptions:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(DefinitionError, match="unknown outlier"):
+            CheckOptions(method="voodoo")
+
+    def test_bad_min_samples_rejected(self):
+        with pytest.raises(DefinitionError):
+            CheckOptions(min_samples=0)
+
+    def test_bad_sensitivity_rejected(self):
+        with pytest.raises(DefinitionError):
+            CheckOptions(sensitivity=-1.0)
+
+
+class TestReportShape:
+    def _regressed(self):
+        base = {"op": samples("op", wall=BASE_WALL)}
+        fresh = {"op": samples("op", wall=[0.050] * 3)}
+        return compare_samples("v1", "fig8", base, fresh)
+
+    def test_render_contents(self):
+        text = self._regressed().render()
+        assert "check 'fig8' against baseline 'v1'" in text
+        assert "REGRESSION" in text
+        assert "regression: op [operator]: wall_s" in text
+        assert text.rstrip().endswith("verdict: REGRESSION")
+
+    def test_render_all_metrics_rows(self):
+        text = self._regressed().render()
+        for metric in METRICS:
+            assert metric in text
+
+    def test_to_dict_verdict_and_reason(self):
+        payload = self._regressed().to_dict()
+        assert payload["verdict"] == "regression"
+        assert payload["options"]["method"] == "mad"
+        (element,) = payload["elements"]
+        wall = [m for m in element["metrics"]
+                if m["metric"] == "wall_s"][0]
+        assert wall["regression"]
+        assert wall["reason"]["relative_change"] == pytest.approx(4.0)
