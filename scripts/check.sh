@@ -108,3 +108,37 @@ echo "== sentinel: bench smoke (writes benchmarks/BENCH_pr7.json) =="
 python -m pytest -q -p no:randomly --benchmark-disable \
     benchmarks/bench_sentinel.py
 test -s benchmarks/BENCH_pr7.json
+
+echo "== pushdown: chain-fusion battery (pytest -m pushdown) =="
+python -m pytest -q -p no:randomly -m pushdown tests
+
+echo "== pushdown: fused vs unfused CLI artifacts are byte-identical =="
+PUSHDOWN_DIR="$(mktemp -d)"
+trap 'rm -rf "$FSCK_DIR" "$SENTINEL_DIR" "$PUSHDOWN_DIR"' EXIT
+python - "$PUSHDOWN_DIR" <<'EOF2'
+import sys, pathlib
+from repro.workloads.beffio import generate_campaign
+from repro.workloads.beffio_assets import (experiment_xml, fig8_query_xml,
+                                           input_xml)
+ws = pathlib.Path(sys.argv[1])
+(ws / "experiment.xml").write_text(experiment_xml())
+(ws / "input.xml").write_text(input_xml())
+(ws / "fig8.xml").write_text(fig8_query_xml())
+results = ws / "results"
+results.mkdir()
+for fname, content in generate_campaign(repetitions=2):
+    (results / fname).write_text(content)
+EOF2
+perfbase setup -d "$PUSHDOWN_DIR/experiment.xml" --dbdir "$PUSHDOWN_DIR/db"
+perfbase input -e b_eff_io -d "$PUSHDOWN_DIR/input.xml" \
+    --dbdir "$PUSHDOWN_DIR/db" "$PUSHDOWN_DIR"/results/*
+perfbase query -e b_eff_io -q "$PUSHDOWN_DIR/fig8.xml" --no-cache \
+    -o "$PUSHDOWN_DIR/fused" --dbdir "$PUSHDOWN_DIR/db"
+perfbase query -e b_eff_io -q "$PUSHDOWN_DIR/fig8.xml" --no-cache \
+    --no-pushdown -o "$PUSHDOWN_DIR/plain" --dbdir "$PUSHDOWN_DIR/db"
+diff -r "$PUSHDOWN_DIR/fused" "$PUSHDOWN_DIR/plain"
+
+echo "== pushdown: bench smoke (writes benchmarks/BENCH_pr8.json) =="
+python -m pytest -q -p no:randomly --benchmark-disable \
+    benchmarks/bench_pushdown.py
+test -s benchmarks/BENCH_pr8.json

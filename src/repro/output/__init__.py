@@ -3,8 +3,8 @@ an ASCII bar chart (paper Section 3.3.4)."""
 
 from .ascii_table import AsciiTableFormat
 from .barchart import AsciiBarChartFormat, render_bars
-from .base import (Artifact, OutputFormat, available_formats, get_format,
-                   register_format)
+from .base import (Artifact, OutputFormat, available_formats, format_cell,
+                   get_format, register_format)
 from .csvout import CsvFormat
 from .gnuplot import GnuplotFormat
 from .grace import GraceFormat
@@ -13,7 +13,8 @@ from .xmltable import XmlTableFormat
 
 __all__ = [
     "AsciiTableFormat", "AsciiBarChartFormat", "render_bars", "Artifact",
-    "OutputFormat", "available_formats", "get_format", "register_format",
+    "OutputFormat", "available_formats", "format_cell", "get_format",
+    "register_format",
     "CsvFormat", "GnuplotFormat", "GraceFormat", "LatexTableFormat", "latex_escape",
     "XmlTableFormat",
 ]

@@ -24,6 +24,7 @@ from typing import Any, Mapping, Sequence
 
 from ..core.datatypes import format_content
 from ..core.errors import QueryError
+from ..obs.tracer import current_tracer
 from ..query.vectors import DataVector
 
 __all__ = ["Artifact", "OutputFormat", "register_format", "get_format",
@@ -47,12 +48,23 @@ class Artifact:
 
 
 def format_cell(value: Any, column) -> str:
-    """Render one table cell using the column's datatype."""
+    """Render one table cell using the column's datatype.
+
+    A value the datatype cannot render (e.g. a non-numeric string in a
+    FLOAT column of a hand-imported run) degrades to ``str(value)`` so
+    one bad cell never kills a whole report; each degradation bumps the
+    ``output.format_errors`` counter when tracing is active.  Anything
+    other than a conversion failure propagates — a bare ``except`` here
+    used to hide genuine bugs in custom datatypes.
+    """
     if value is None:
         return ""
     try:
         return format_content(value, column.datatype)
-    except Exception:
+    except (TypeError, ValueError, OverflowError):
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.counter("output.format_errors").inc()
         return str(value)
 
 

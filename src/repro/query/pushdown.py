@@ -1,0 +1,388 @@
+"""SQL pushdown: fuse linear element chains into single statements.
+
+The paper's element protocol (Section 4.2) materialises a temp table
+per DAG edge — faithful, but the CREATE TABLE + INSERT..SELECT +
+re-scan round-trip dominates the cold path.  This module rewrites the
+plan: maximal ``source → operator* → combiner?`` chains whose elements
+can express themselves as composable SQL become one nested-subquery
+statement, materialised once at the chain tail.  Temp tables survive
+only where they are load-bearing:
+
+* **fan-out points** — a vector read by several consumers;
+* **cache boundaries** — with a :class:`~repro.query.cache.QueryCache`
+  active every cacheable element is a potential hit/miss seam, so the
+  plan degenerates to no fusion (pushdown is the *cold-path*
+  optimisation, the cache is the warm-path one);
+* **output elements** and anything that computes in Python
+  (``eval``/``filter``/``use_sql=False``) or whose shape the fuser
+  cannot reproduce byte-identically (it raises :class:`FusionError`
+  and the group falls back to element-wise temp tables).
+
+Fused plans are **byte-identical** to unfused ones: every fragment
+carries ``order_names`` — projected columns (synthetic ``pb_ord__N``
+rowid ordinals where needed) whose sort reproduces exactly the rowid
+order the unfused temp table would have had — and the single final
+INSERT applies the same column affinities the per-element tables
+would have applied.  Element fingerprints (``spec()``) are untouched,
+so PR4 cache keys and PR7 sentinel baselines remain valid either way.
+
+Observability: ``pushdown.groups`` / ``pushdown.fused_elements`` /
+``pushdown.statements_saved`` / ``pushdown.fallbacks`` counters, and a
+``fused="a,b,c"`` span attribute on the tail element's span.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from ..core.datatypes import sql_type
+from ..core.errors import QueryError
+from ..db.backend import quote_identifier
+from ..obs.tracer import current_tracer
+from .vectors import ColumnInfo, DataVector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .elements import QueryContext, QueryElement
+    from .graph import QueryGraph
+
+__all__ = ["FusionError", "SelectFragment", "PushdownPlan",
+           "plan_pushdown", "vector_fragment", "fuse_join",
+           "materialise", "run_fused_group", "ORD_PREFIX"]
+
+#: prefix of the synthetic rowid-ordinal columns fragments project to
+#: pin row order; user column names must not collide with it
+ORD_PREFIX = "pb_ord__"
+
+
+class FusionError(QueryError):
+    """An element (or column shape) cannot join a fused statement.
+
+    Raised during planning or fragment construction; the runner
+    responds by executing the group's members element-wise through
+    the ordinary temp-table protocol, so a fusion gap is a missed
+    optimisation, never a wrong answer.
+    """
+
+
+@dataclass(frozen=True)
+class SelectFragment:
+    """One composable SELECT: the fused form of an element's output.
+
+    ``sql`` is a complete SELECT statement (no trailing ORDER BY) that
+    consumers embed as a derived table — ``FROM (<sql>) s``.  Nesting
+    instead of textual substitution keeps name scoping trivial: every
+    projected column is addressable as ``s."name"`` one level up.
+
+    ``order_names`` are projected columns whose ascending sort
+    reproduces the rowid order of the temp table the unfused element
+    would have written — the invariant that makes fused and unfused
+    plans byte-identical.  ``hidden`` are the synthetic ``pb_ord__N``
+    ordinals among the projected names (not part of the visible
+    vector).  ``scan_ordered`` promises that the fragment's *natural*
+    emission order already equals that rowid order (true for chains of
+    row-preserving operators over a table scan; false after a join),
+    which gates fusing order-sensitive aggregates on top.
+    ``ord_rowid`` marks a fragment whose single ordinal is a verbatim
+    source rowid, enabling positional (``a.rowid = b.rowid``) joins.
+    ``rescan_cheap`` is true while the fragment is a bare table scan
+    plus row-preserving projections — evaluating it twice costs two
+    scans; once it contains an aggregation or a join, every extra
+    evaluation recomputes that work, and consumers that must probe
+    their input more than once (``norm``'s eager denominator) pin a
+    seam table instead.
+    """
+
+    sql: str
+    params: tuple
+    columns: tuple[ColumnInfo, ...]
+    order_names: tuple[str, ...]
+    hidden: tuple[str, ...] = ()
+    from_source: bool = False
+    scan_ordered: bool = True
+    ord_rowid: bool = False
+    rescan_cheap: bool = True
+    producer: str | None = None
+
+    # the vector-shaped accessors operators/combiners already use on
+    # DataVector, so the fused builders share their column logic
+    @property
+    def parameters(self) -> list[ColumnInfo]:
+        return [c for c in self.columns if not c.is_result]
+
+    @property
+    def results(self) -> list[ColumnInfo]:
+        return [c for c in self.columns if c.is_result]
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def column(self, name: str) -> ColumnInfo:
+        for c in self.columns:
+            if c.name == name:
+                return c
+        raise KeyError(name)
+
+
+def vector_fragment(vector: DataVector) -> SelectFragment:
+    """Wrap a materialised vector as a chain-head fragment.
+
+    Projects every visible column plus the table rowid as
+    ``pb_ord__0`` — downstream fragments thread that ordinal through
+    so the final materialisation can restore insertion order.
+    """
+    for c in vector.columns:
+        if c.name.startswith(ORD_PREFIX):
+            raise FusionError(
+                f"column {c.name!r} collides with the {ORD_PREFIX}* "
+                "ordinal namespace")
+    ordinal = f"{ORD_PREFIX}0"
+    cols = [quote_identifier(c.name) for c in vector.columns]
+    sql = (f"SELECT {', '.join(cols)}, "
+           f"rowid AS {quote_identifier(ordinal)} "
+           f"FROM {quote_identifier(vector.table)}")
+    return SelectFragment(
+        sql, (), tuple(vector.columns), (ordinal,), (ordinal,),
+        from_source=vector.from_source, scan_ordered=True,
+        ord_rowid=True, producer=vector.producer)
+
+
+def fuse_join(left: SelectFragment, right: SelectFragment,
+              items: list[str], out_cols: Iterable[ColumnInfo],
+              shared: list[str], producer: str) -> SelectFragment:
+    """Join two fragments (binary operators and combiners).
+
+    ``items`` are rendered select expressions over aliases ``a``
+    (left) and ``b`` (right).  Joins on the shared parameter names, or
+    positionally on the rowid ordinals when there are none.  Both
+    sides' order columns are re-projected as fresh ``pb_ord__N``
+    ordinals; sorting by them equals the unfused ``ORDER BY a.rowid,
+    b.rowid`` because each side's ordering totally orders its rows.
+    """
+    if shared:
+        cond = " AND ".join(
+            f"a.{quote_identifier(c)} = b.{quote_identifier(c)}"
+            for c in shared)
+    elif left.ord_rowid and right.ord_rowid:
+        cond = (f"a.{quote_identifier(left.order_names[0])} = "
+                f"b.{quote_identifier(right.order_names[0])}")
+    else:
+        raise FusionError(
+            "positional join requires rowid-pure operand ordering")
+    ords: list[str] = []
+    hidden: list[str] = []
+    for alias, frag in (("a", left), ("b", right)):
+        for name in frag.order_names:
+            fresh = f"{ORD_PREFIX}{len(hidden)}"
+            hidden.append(fresh)
+            ords.append(f"{alias}.{quote_identifier(name)} "
+                        f"AS {quote_identifier(fresh)}")
+    sql = (f"SELECT {', '.join(items + ords)} "
+           f"FROM ({left.sql}) a JOIN ({right.sql}) b ON {cond}")
+    return SelectFragment(
+        sql, left.params + right.params, tuple(out_cols),
+        tuple(hidden), tuple(hidden), from_source=False,
+        scan_ordered=False, ord_rowid=False, rescan_cheap=False,
+        producer=producer)
+
+
+def materialise(ctx: "QueryContext", frag: SelectFragment,
+                element: "QueryElement") -> DataVector:
+    """Run a fused fragment into the tail element's temp table.
+
+    The single INSERT applies the tail's column affinities — the same
+    conversions the unfused per-element tables would have applied —
+    and pins insertion order via the fragment's order columns, so the
+    resulting table is byte-identical to the unfused one (content
+    fingerprints hash row order, so this is what keeps cache and
+    sentinel baselines valid).
+    """
+    table = ctx.temptables.new_table(
+        element.name,
+        [(c.name, sql_type(c.datatype)) for c in frag.columns])
+    sel = ", ".join(f"s.{quote_identifier(c.name)}"
+                    for c in frag.columns)
+    sql = (f"INSERT INTO {quote_identifier(table)} "
+           f"SELECT {sel} FROM ({frag.sql}) s")
+    if frag.order_names:
+        sql += " ORDER BY " + ", ".join(
+            f"s.{quote_identifier(n)}" for n in frag.order_names)
+    ctx.db.execute(sql, frag.params)
+    return DataVector(ctx.db, table, list(frag.columns),
+                      from_source=frag.from_source,
+                      producer=element.name)
+
+
+# =========================================================================
+# planning
+# =========================================================================
+
+@dataclass
+class PushdownPlan:
+    """The rewrite decision: which elements fuse into which tails."""
+
+    #: tail element name -> group member names in topological order
+    #: (the tail is always the last member); only groups of >= 2
+    groups: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: member name -> its tail, for every fused member
+    member_of: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def fused_elements(self) -> int:
+        return len(self.member_of)
+
+    @property
+    def statements_saved(self) -> int:
+        """Temp-table materialisations the plan avoids."""
+        return sum(len(m) - 1 for m in self.groups.values())
+
+    def absorbed(self, name: str) -> bool:
+        """True for members whose materialisation the tail subsumes."""
+        return name in self.member_of and self.member_of[name] != name
+
+    def label(self, tail: str) -> str:
+        """The explain annotation, e.g. ``FUSED[a→b→c]``."""
+        return "FUSED[" + "→".join(self.groups[tail]) + "]"
+
+
+def plan_pushdown(graph: "QueryGraph",
+                  boundaries: frozenset[str] = frozenset()
+                  ) -> PushdownPlan:
+    """Walk the element DAG and mark maximal fusable chains.
+
+    An edge ``producer → consumer`` is absorbed when both ends are
+    SQL-expressible (``element.can_fuse()``), the producer feeds only
+    that consumer (no fan-out), and the producer is not a boundary.
+    ``boundaries`` names elements whose materialised vector is needed
+    by machinery outside the plan — the incremental engine passes
+    every cacheable element, because each one is a potential cache
+    hit/miss seam.  Connected components of absorbed edges form
+    in-tree groups whose root (the unique member with no absorbed
+    outgoing edge) is the tail that materialises.
+    """
+    elements = graph.elements
+    parent: dict[str, str] = {}
+
+    def find(name: str) -> str:
+        while parent.get(name, name) != name:
+            parent[name] = parent.get(parent[name], parent[name])
+            name = parent[name]
+        return name
+
+    absorbed_edges: list[tuple[str, str]] = []
+    for name, element in elements.items():
+        if not element.can_fuse() or name in boundaries:
+            continue
+        consumers = graph.consumers(name)
+        if len(consumers) != 1:
+            continue
+        consumer = elements[consumers[0]]
+        if not consumer.can_fuse():
+            continue
+        absorbed_edges.append((name, consumer.name))
+        root = find(name)
+        parent[root] = find(consumer.name)
+
+    roots = {find(name) for edge in absorbed_edges for name in edge}
+    members: dict[str, list[str]] = {root: [] for root in roots}
+    for element in graph.topological_order():
+        root = find(element.name)
+        if root in members:
+            members[root].append(element.name)
+
+    plan = PushdownPlan()
+    absorbed_from = {producer for producer, _ in absorbed_edges}
+    for group in members.values():
+        if len(group) < 2:  # pragma: no cover - every edge has 2 ends
+            continue
+        # the component is an in-tree (each absorbed producer feeds
+        # exactly one consumer); its unique sink — the one member whose
+        # own output edge was NOT absorbed — materialises for the group
+        tails = [n for n in group if n not in absorbed_from]
+        tail = tails[0] if tails else group[-1]
+        plan.groups[tail] = tuple(group)
+        for name in group:
+            plan.member_of[name] = tail
+    return plan
+
+
+def cache_boundaries(graph: "QueryGraph") -> frozenset[str]:
+    """Boundary set when an element cache is active: every cacheable
+    element is a potential hit/miss seam, so nothing fuses.  (The
+    cache serves the warm path; pushdown serves the cold one.)"""
+    return frozenset(name for name, element in graph.elements.items()
+                     if element.cacheable)
+
+
+# =========================================================================
+# execution
+# =========================================================================
+
+def build_fragment(ctx: "QueryContext", graph: "QueryGraph",
+                   name: str, members: frozenset[str]
+                   ) -> SelectFragment:
+    """Recursively compose the fragment rooted at ``name``.
+
+    Inputs inside the group recurse; inputs outside it are already
+    materialised vectors and enter as chain-head fragments.
+    """
+    element = graph.elements[name]
+    frags = [
+        build_fragment(ctx, graph, input_name, members)
+        if input_name in members
+        else vector_fragment(ctx.vector_of(input_name))
+        for input_name in element.inputs]
+    return element.fuse(ctx, frags)
+
+
+def _count(metric: str, amount: int = 1) -> None:
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.metrics.counter(metric).inc(amount)
+
+
+def run_fused_group(ctx: "QueryContext", graph: "QueryGraph",
+                    plan: PushdownPlan, tail_name: str, *,
+                    span_attrs: Mapping[str, object] | None = None
+                    ) -> DataVector | None:
+    """Execute one fused group: build the tail fragment, materialise
+    it in a single statement, and account it to the tail element.
+
+    On :class:`FusionError` the members run element-wise instead
+    (``pushdown.fallbacks``) — identical results, just slower.
+    """
+    members = plan.groups[tail_name]
+    tail = graph.elements[tail_name]
+    try:
+        frag = build_fragment(ctx, graph, tail_name,
+                              frozenset(members))
+    except FusionError:
+        _count("pushdown.fallbacks")
+        vector = None
+        for name in members:
+            vector = graph.elements[name].execute(
+                ctx, span_attrs=span_attrs)
+        return vector
+
+    _count("pushdown.groups")
+    _count("pushdown.fused_elements", len(members))
+    _count("pushdown.statements_saved", len(members) - 1)
+    attrs = dict(span_attrs or {})
+    attrs["fused"] = ",".join(members)
+    tracer = current_tracer()
+    start = time.perf_counter()
+    if tracer is not None:
+        with tracer.span(tail.name, kind=tail.kind, **attrs) as span:
+            vector = materialise(ctx, frag, tail)
+            span.attributes["rows"] = vector.n_rows
+            span.attributes["cols"] = len(vector.columns)
+        elapsed = span.wall_seconds
+    else:
+        vector = materialise(ctx, frag, tail)
+        elapsed = time.perf_counter() - start
+    if ctx.profile is not None:
+        ctx.profile.record(tail.name, tail.kind, elapsed,
+                           vector.n_rows, len(vector.columns))
+    ctx.vectors[tail.name] = vector
+    return vector

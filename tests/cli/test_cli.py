@@ -160,6 +160,23 @@ class TestQueryCommand:
         assert "parallel execution on 2 nodes" in \
             capsys.readouterr().out
 
+    @pytest.mark.pushdown
+    def test_no_pushdown_writes_identical_artifacts(self, workspace,
+                                                    tmp_path):
+        setup_and_import(workspace)
+        fused, plain = tmp_path / "fused", tmp_path / "plain"
+        assert run(workspace, "query", "-e", "b_eff_io", "-q",
+                   str(workspace / "fig8.xml"), "--no-cache",
+                   "-o", str(fused)) == 0
+        assert run(workspace, "query", "-e", "b_eff_io", "-q",
+                   str(workspace / "fig8.xml"), "--no-cache",
+                   "--no-pushdown", "-o", str(plain)) == 0
+        names = {p.name for p in fused.iterdir()}
+        assert names == {p.name for p in plain.iterdir()} and names
+        for name in names:
+            assert (fused / name).read_bytes() == \
+                (plain / name).read_bytes()
+
 
 class TestAdminCommands:
     def test_delete_run(self, workspace, capsys):

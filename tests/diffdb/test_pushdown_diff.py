@@ -1,0 +1,48 @@
+"""Differential pushdown battery: fused execution must be
+byte-identical to the temp-table protocol on every backend, and the
+fused outcomes themselves must agree across backends — serial and
+parallel."""
+
+import pytest
+
+from repro.testing import assert_identical, query_outcome, run_differential
+from tests.diffdb.conftest import QUERY_BATTERY, build_filled
+
+pytestmark = [pytest.mark.diffdb, pytest.mark.pushdown]
+
+
+def _assert_fused_matches(unfused, fused, context):
+    """Name-by-name: a fused snapshot omits absorbed interior vectors,
+    so its key set is a subset of the unfused one."""
+    assert_identical(unfused["artifacts"], fused["artifacts"],
+                     f"{context}: artifacts")
+    missing = set(fused["vectors"]) - set(unfused["vectors"])
+    assert not missing, f"{context}: unexpected vectors {missing}"
+    for name, snapshot in fused["vectors"].items():
+        assert_identical(unfused["vectors"][name], snapshot,
+                         f"{context}: vector[{name!r}]")
+
+
+@pytest.mark.parametrize("battery", sorted(QUERY_BATTERY))
+def test_fused_equals_unfused_serial(battery):
+    def scenario(server, backend):
+        exp = build_filled(server)
+        unfused = query_outcome(exp, QUERY_BATTERY[battery]())
+        fused = query_outcome(exp, QUERY_BATTERY[battery](),
+                              pushdown=True)
+        _assert_fused_matches(unfused, fused, backend)
+        return fused
+    run_differential(scenario)
+
+
+@pytest.mark.parametrize("battery", sorted(QUERY_BATTERY))
+def test_fused_equals_unfused_parallel(battery):
+    def scenario(server, backend):
+        exp = build_filled(server)
+        unfused = query_outcome(exp, QUERY_BATTERY[battery](),
+                                parallel=3)
+        fused = query_outcome(exp, QUERY_BATTERY[battery](),
+                              parallel=3, pushdown=True)
+        _assert_fused_matches(unfused, fused, backend)
+        return fused
+    run_differential(scenario)

@@ -11,8 +11,8 @@ from repro.db import SQLiteDatabase
 from repro.output import (AsciiBarChartFormat, AsciiTableFormat,
                           Artifact, CsvFormat, GnuplotFormat,
                           LatexTableFormat, XmlTableFormat,
-                          available_formats, get_format, latex_escape,
-                          render_bars)
+                          available_formats, format_cell, get_format,
+                          latex_escape, render_bars)
 from repro.query import ColumnInfo, DataVector
 
 
@@ -259,6 +259,32 @@ class TestBarChart:
     def test_value_defaults_to_first_numeric(self):
         out = AsciiBarChartFormat().render([make_vector()])[0].content
         assert "MB/s" in out
+
+
+class TestFormatCell:
+    FLOAT_COL = ColumnInfo("bw", DataType.FLOAT)
+
+    def test_none_renders_empty(self):
+        assert format_cell(None, self.FLOAT_COL) == ""
+
+    def test_conversion_failure_degrades_to_str(self):
+        assert format_cell("n/a", self.FLOAT_COL) == "n/a"
+
+    def test_conversion_failure_counts_when_traced(self):
+        from repro.obs import InMemorySink, Tracer, use_tracer
+        tracer = Tracer(InMemorySink())
+        with use_tracer(tracer):
+            format_cell("n/a", self.FLOAT_COL)
+            format_cell(2.5, self.FLOAT_COL)
+        assert tracer.metrics.counter("output.format_errors").value == 1
+
+    def test_unexpected_errors_propagate(self):
+        class Exploding:
+            def __float__(self):
+                raise KeyError("datatype bug")
+
+        with pytest.raises(KeyError):
+            format_cell(Exploding(), self.FLOAT_COL)
 
 
 class TestArtifact:

@@ -106,6 +106,7 @@ def chains(draw):
         "data_seed": draw(data_seeds),
         "cache": draw(st.booleans()),
         "parallel": draw(st.sampled_from([0, 2])),
+        "pushdown": draw(st.booleans()),
     }
 
 
@@ -120,8 +121,21 @@ class TestBackendsAreIndistinguishable:
             outcomes[backend] = query_outcome(
                 exp, chain["query"],
                 cache=chain["cache"] or None,
-                parallel=chain["parallel"])
+                parallel=chain["parallel"],
+                pushdown=chain["pushdown"])
         reference = DIFF_BACKENDS[0]
         for backend in DIFF_BACKENDS[1:]:
             assert_identical(outcomes[reference], outcomes[backend],
                              f"{reference} vs {backend}")
+        if chain["pushdown"] and not chain["cache"]:
+            # fused must also match the temp-table protocol, vector by
+            # vector (absorbed interiors are absent from the fused run)
+            unfused = query_outcome(
+                experiment(reference, chain["data_seed"]),
+                chain["query"], parallel=chain["parallel"])
+            fused = outcomes[reference]
+            assert_identical(unfused["artifacts"], fused["artifacts"],
+                             "fused vs unfused artifacts")
+            for name, snapshot in fused["vectors"].items():
+                assert_identical(unfused["vectors"][name], snapshot,
+                                 f"fused vs unfused vector[{name!r}]")
