@@ -1,0 +1,160 @@
+"""PR-10: the multi-tenant experiment service under concurrent load.
+
+Measures what a shared front door costs and proves what it guarantees:
+
+* **session-path overhead** — one client storing/reading through a
+  :class:`~repro.service.ExperimentService` session (admission check +
+  pooled shard handle + per-op access reload) vs the direct
+  ``Experiment`` path on the same server;
+* **concurrent throughput** — the acceptance-criteria stress shape
+  (200 clients, 4 shards) clean and under an injected lock+io fault
+  plan, with zero lost/phantom/corrupted runs and result-identity
+  between the service and direct read paths;
+* **graceful saturation** — an undersized service sheds load as
+  ``service.rejections`` without disturbing other clients' invariants.
+
+Emits the ``benchmarks/BENCH_pr10.json`` trajectory point.  Headline
+numbers use ``time.perf_counter`` so the smoke run works under
+``--benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.core import DataType, RunData, UserClass
+from repro.core.experiment import Experiment
+from repro.core.variables import Occurrence, Parameter, Result
+from repro.db import MemoryServer
+from repro.service import (ExperimentService, ServiceConfig,
+                           StressOptions, run_stress)
+from _helpers import report
+
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_pr10.json"
+
+N_OPS = 150  #: serial ops per overhead measurement
+
+
+def _variables():
+    return [
+        Parameter("who", datatype=DataType.STRING),
+        Result("val", datatype=DataType.FLOAT,
+               occurrence=Occurrence.MULTIPLE),
+    ]
+
+
+def _run(i):
+    return RunData(once={"who": f"c{i}"}, datasets=[{"val": float(i)}])
+
+
+def _direct_path(server, name):
+    exp = Experiment.open(server, name, user="bench")
+    start = time.perf_counter()
+    for i in range(N_OPS):
+        exp.store_run(_run(i))
+        exp.store.n_runs()
+    return time.perf_counter() - start
+
+
+def _service_path(service, name):
+    start = time.perf_counter()
+    with service.session("bench") as session:
+        for i in range(N_OPS):
+            session.store_run(name, _run(i))
+            session.n_runs(name)
+    return time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def setup():
+    server = MemoryServer()
+    service = ExperimentService(server=server)
+    for name in ("direct", "serviced"):
+        service.create_experiment(name, _variables(), user="bench")
+    yield server, service
+    service.close()
+
+
+class TestOverhead:
+    def test_direct_path(self, benchmark, setup):
+        server, _ = setup
+        benchmark.pedantic(
+            lambda: _direct_path(server, "direct"), rounds=1,
+            iterations=1)
+
+    def test_service_path(self, benchmark, setup):
+        _, service = setup
+        benchmark.pedantic(
+            lambda: _service_path(service, "serviced"), rounds=1,
+            iterations=1)
+
+
+def stress_point(directory, *, faults=None, config=None,
+                 clients=200):
+    options = StressOptions(clients=clients, shards=4,
+                            ops_per_client=3, faults=faults,
+                            config=config)
+    rep = run_stress(str(directory), options=options)
+    assert rep.ok, f"stress problems: {rep.problems[:5]}"
+    return rep
+
+
+class TestTrajectoryPoint:
+    def test_write_bench_json(self, setup, tmp_path_factory):
+        server, service = setup
+        direct_s = _direct_path(server, "direct")
+        service_s = _service_path(service, "serviced")
+
+        clean = stress_point(tmp_path_factory.mktemp("svc_clean"))
+        faulty = stress_point(
+            tmp_path_factory.mktemp("svc_faults"),
+            faults="seed=11;lock@db.run:p=0.02;io@db.commit:p=0.01")
+        saturated = stress_point(
+            tmp_path_factory.mktemp("svc_sat"),
+            config=ServiceConfig(max_sessions=4,
+                                 admission_timeout=0.01),
+            clients=150)
+
+        point = {
+            "pr": 10,
+            "bench": "service",
+            "serial_ops": N_OPS * 2,
+            "direct_ms": round(direct_s * 1e3, 2),
+            "service_ms": round(service_s * 1e3, 2),
+            "session_overhead_x": round(service_s / direct_s, 2),
+            "stress_clients": clean.clients,
+            "stress_shards": clean.shards,
+            "clean_wall_s": round(clean.wall_s, 3),
+            "clean_ops_per_s": round(
+                clean.ops_completed / clean.wall_s, 1),
+            "clean_verified_runs": clean.verified_runs,
+            "faulty_wall_s": round(faulty.wall_s, 3),
+            "faulty_verified_runs": faulty.verified_runs,
+            "faulty_failed_ops": faulty.failed_ops,
+            "faulty_identity_ok": faulty.identity_ok,
+            "saturated_rejections": saturated.rejections,
+            "saturated_identity_ok": saturated.identity_ok,
+        }
+        BENCH_JSON.write_text(json.dumps(point, indent=2) + "\n")
+        report("service",
+               f"serial {N_OPS}x(store+count): direct "
+               f"{point['direct_ms']}ms vs session "
+               f"{point['service_ms']}ms "
+               f"(x{point['session_overhead_x']} overhead); "
+               f"stress {clean.clients} clients/{clean.shards} shards: "
+               f"clean {point['clean_ops_per_s']} ops/s "
+               f"({clean.verified_runs} runs verified), "
+               f"faulty identity_ok={faulty.identity_ok} "
+               f"({faulty.verified_runs} verified, "
+               f"{faulty.failed_ops} failed ops), saturated "
+               f"{saturated.rejections} graceful rejections\n")
+        assert clean.verified_runs == clean.stored_runs == 300
+        assert faulty.identity_ok and saturated.identity_ok
+        assert saturated.rejections > 0
+        # the session boundary must stay a thin layer, not a choke
+        # point: well under an order of magnitude over direct
+        assert point["session_overhead_x"] < 10

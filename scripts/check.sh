@@ -142,3 +142,15 @@ echo "== pushdown: bench smoke (writes benchmarks/BENCH_pr8.json) =="
 python -m pytest -q -p no:randomly --benchmark-disable \
     benchmarks/bench_pushdown.py
 test -s benchmarks/BENCH_pr8.json
+
+echo "== service: multi-tenant service battery (pytest -m service) =="
+python -m pytest -q -p no:randomly -m service tests
+
+echo "== service: stress smoke under injected faults (CLI) =="
+perfbase service stress --scratch --clients 200 --shards 4 \
+    --faults "seed=11;lock@db.run:p=0.02;io@db.commit:p=0.01"
+
+echo "== service: bench smoke (writes benchmarks/BENCH_pr10.json) =="
+python -m pytest -q -p no:randomly --benchmark-disable \
+    benchmarks/bench_service.py
+test -s benchmarks/BENCH_pr10.json

@@ -891,3 +891,5 @@ def register_all(sub) -> None:
     _register_obs(sub)
     from .sentinel import register_sentinel
     register_sentinel(sub)
+    from .service import register_service
+    register_service(sub)

@@ -4,9 +4,10 @@ from .access import AccessControl, UserClass
 from .datatypes import DataType, format_content, parse_content
 from .errors import (AccessError, DatabaseError, DataTypeError,
                      DefinitionError, DuplicateImportError, ExpressionError,
-                     InputError, MissingContentError, NoSuchExperimentError,
-                     NoSuchRunError, OperatorError, PerfbaseError,
-                     QueryError, UnitError, XMLFormatError)
+                     InputError, LockoutError, MissingContentError,
+                     NoSuchExperimentError, NoSuchRunError, OperatorError,
+                     PerfbaseError, QueryError, ServiceError,
+                     ServiceUnavailable, UnitError, XMLFormatError)
 from .experiment import Experiment, current_user
 from .meta import ExperimentInfo, Person
 from .run import DataSet, RunData, RunRecord
@@ -17,8 +18,9 @@ __all__ = [
     "AccessControl", "UserClass", "DataType", "format_content",
     "parse_content", "AccessError", "DatabaseError", "DataTypeError",
     "DefinitionError", "DuplicateImportError", "ExpressionError",
-    "InputError", "MissingContentError", "NoSuchExperimentError",
-    "NoSuchRunError", "OperatorError", "PerfbaseError", "QueryError",
+    "InputError", "LockoutError", "MissingContentError",
+    "NoSuchExperimentError", "NoSuchRunError", "OperatorError",
+    "PerfbaseError", "QueryError", "ServiceError", "ServiceUnavailable",
     "UnitError", "XMLFormatError", "Experiment", "current_user",
     "ExperimentInfo", "Person", "DataSet", "RunData", "RunRecord",
     "DIMENSIONLESS", "BaseUnit", "Unit", "Occurrence", "Parameter",

@@ -18,7 +18,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from .errors import AccessError
+from .errors import AccessError, LockoutError
 
 __all__ = ["UserClass", "AccessControl"]
 
@@ -53,20 +53,43 @@ class AccessControl:
     users: dict[str, UserClass] = field(default_factory=dict)
     open_access: bool = True
 
+    def _n_admins(self) -> int:
+        return sum(1 for c in self.users.values()
+                   if c is UserClass.ADMIN)
+
     def grant(self, user: str, user_class: UserClass | str) -> None:
         """Grant ``user`` the given class (replacing any previous one).
 
         Granting any explicit right switches the experiment out of
-        ``open_access`` mode.
+        ``open_access`` mode.  Demoting the last remaining admin of a
+        closed experiment is refused (:class:`LockoutError`): nobody
+        would be left who could ever grant admin rights again.
         """
         if isinstance(user_class, str):
             user_class = UserClass.from_name(user_class)
+        if (not self.open_access
+                and user_class < UserClass.ADMIN
+                and self.users.get(user) is UserClass.ADMIN
+                and self._n_admins() == 1):
+            raise LockoutError(user, f"demote the last admin {user!r}")
         self.users[user] = user_class
         self.open_access = False
 
     def revoke(self, user: str) -> None:
-        """Remove all rights of ``user``."""
-        self.users.pop(user, None)
+        """Remove all rights of ``user``.
+
+        Revoking the last remaining admin of a closed experiment is
+        refused (:class:`LockoutError`) — the experiment would be
+        permanently locked, since only admins can grant access.
+        Revoking an unknown user stays a no-op.
+        """
+        if user not in self.users:
+            return
+        if (not self.open_access
+                and self.users[user] is UserClass.ADMIN
+                and self._n_admins() == 1):
+            raise LockoutError(user, f"revoke access of {user!r}")
+        del self.users[user]
 
     def class_of(self, user: str) -> UserClass | None:
         if self.open_access:
@@ -92,7 +115,17 @@ class AccessControl:
 
     @classmethod
     def from_dict(cls, data: dict) -> "AccessControl":
+        """Rehydrate a table stored in ``pb_meta``.
+
+        An empty user table together with ``open_access == False`` is
+        unrepresentable as a live state — :meth:`revoke` refuses the
+        revocation that would produce it — so a stored dict of that
+        shape (legacy data, hand-edited meta) is normalised back to
+        open access instead of rehydrating as a permanent lockout.
+        """
         ac = cls(open_access=bool(data.get("open_access", True)))
         for user, name in data.get("users", {}).items():
             ac.users[user] = UserClass.from_name(name)
+        if not ac.users and not ac.open_access:
+            ac.open_access = True
         return ac

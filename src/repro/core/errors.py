@@ -120,5 +120,33 @@ class AccessError(PerfbaseError):
         self.operation = operation
 
 
+class LockoutError(AccessError):
+    """An access change would leave a closed experiment without any
+    admin, making it permanently inaccessible."""
+
+    def __init__(self, user: str, operation: str):
+        PerfbaseError.__init__(
+            self,
+            f"refusing to {operation}: {user!r} is the last admin and "
+            f"the experiment would become permanently inaccessible")
+        self.user = user
+        self.needed = "admin"
+        self.operation = operation
+
+
+class ServiceError(PerfbaseError):
+    """The experiment service layer cannot complete an operation."""
+
+
+class ServiceUnavailable(ServiceError):
+    """The service is saturated (admission timed out) or shut down."""
+
+    def __init__(self, message: str, *, queue_depth: int | None = None):
+        if queue_depth is not None:
+            message = f"{message} (queue depth {queue_depth})"
+        super().__init__(message)
+        self.queue_depth = queue_depth
+
+
 class ExpressionError(PerfbaseError):
     """An arithmetic expression is malformed or fails to evaluate."""

@@ -116,6 +116,13 @@ class Experiment:
                 self.store.get_meta("access", {}))
         return self._access
 
+    def reload_access(self) -> AccessControl:
+        """Re-read the access table from storage, dropping the cached
+        copy — a grant/revoke by another handle of the same experiment
+        (e.g. another service session) takes effect immediately."""
+        self._access = None
+        return self.access
+
     def _check(self, needed: UserClass, operation: str) -> None:
         self.access.check(self.user, needed, operation)
 

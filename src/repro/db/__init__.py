@@ -5,6 +5,7 @@ retry policy and crash recovery."""
 from .backend import Database, DatabaseServer, quote_identifier
 from .checksums import content_checksum, file_checksum
 from .memory_backend import (MemoryDatabase, MemoryDatabaseServer,
+                             clear_memory_servers, evict_memory_server,
                              memory_server_for)
 from .recovery import Finding, FsckReport, fsck
 from .retry import (DEFAULT_POLICY, RetryPolicy, is_transient_lock,
@@ -46,6 +47,7 @@ __all__ = [
     "SCHEMA_VERSION", "variable_from_json", "variable_to_json",
     "MemoryServer", "SQLiteDatabase", "SQLiteServer",
     "MemoryDatabase", "MemoryDatabaseServer", "memory_server_for",
+    "evict_memory_server", "clear_memory_servers",
     "BACKENDS", "server_for_backend",
     "TempTableManager", "Finding", "FsckReport", "fsck",
     "DEFAULT_POLICY", "RetryPolicy", "is_transient_lock",

@@ -162,6 +162,14 @@ class DatabaseServer(abc.ABC):
     #: ``pb_meta`` at experiment creation and shown by ``perfbase info``
     backend_name = "sqlite"
 
+    #: whether every :meth:`open_database` call returns an independent
+    #: connection (so several can safely run transactions concurrently).
+    #: Servers that hand out one shared handle per database must leave
+    #: this False — pools built on top (the experiment service) then
+    #: serialise whole operations per database instead of interleaving
+    #: transactions on the shared connection.
+    independent_connections = False
+
     def __init__(self, node: int = 0):
         self.node = node
 

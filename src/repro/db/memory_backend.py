@@ -49,7 +49,8 @@ from .backend import Database, DatabaseServer, quote_identifier
 from .sqlite_backend import (_Median, _Product, _Stddev, _Variance,
                              _sql_summary)
 
-__all__ = ["MemoryDatabase", "MemoryDatabaseServer", "memory_server_for"]
+__all__ = ["MemoryDatabase", "MemoryDatabaseServer", "memory_server_for",
+           "evict_memory_server", "clear_memory_servers"]
 
 
 # =========================================================================
@@ -2591,6 +2592,18 @@ class MemoryDatabaseServer(DatabaseServer):
     def list_databases(self) -> list[str]:
         return sorted(self._dbs)
 
+    def close(self) -> None:
+        """Close every database and drop all state.
+
+        A closed server can still create fresh databases; the old
+        contents are gone.  Used by shard retirement in the service
+        layer and by test teardown via :func:`evict_memory_server` /
+        :func:`clear_memory_servers`.
+        """
+        for db in self._dbs.values():
+            db.close()
+        self._dbs.clear()
+
 
 _DIRECTORY_SERVERS: dict[str, MemoryDatabaseServer] = {}
 _DIRECTORY_LOCK = threading.Lock()
@@ -2611,3 +2624,32 @@ def memory_server_for(directory: str) -> MemoryDatabaseServer:
             server = MemoryDatabaseServer()
             _DIRECTORY_SERVERS[key] = server
         return server
+
+
+def evict_memory_server(directory: str) -> bool:
+    """Close and drop the registry's server for a directory.
+
+    The registry itself never forgets a directory (that is what makes
+    ``--backend memory`` usable across CLI commands within a process),
+    so long-lived processes — the experiment service retiring shards,
+    test teardown — must evict explicitly or the servers leak state
+    for the lifetime of the process.  Returns whether a server was
+    registered.
+    """
+    import os
+    key = os.path.abspath(str(directory))
+    with _DIRECTORY_LOCK:
+        server = _DIRECTORY_SERVERS.pop(key, None)
+    if server is None:
+        return False
+    server.close()
+    return True
+
+
+def clear_memory_servers() -> None:
+    """Evict every registered per-directory server (test teardown)."""
+    with _DIRECTORY_LOCK:
+        servers = list(_DIRECTORY_SERVERS.values())
+        _DIRECTORY_SERVERS.clear()
+    for server in servers:
+        server.close()

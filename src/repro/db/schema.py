@@ -411,7 +411,16 @@ class ExperimentStore:
         variables = variables or self.load_variables()
         created = created or run.created or _dt.datetime.now()
         with self._write_lock:
-            return self._store_run_locked(run, variables, created)
+            try:
+                return self._store_run_locked(run, variables, created)
+            except Exception:
+                # undo the partial run, or its statements stay pending
+                # on this connection and the next commit persists them
+                try:
+                    self.db.rollback()
+                except DatabaseError:
+                    pass
+                raise
 
     def _store_run_locked(self, run: RunData, variables: VariableSet,
                           created: _dt.datetime) -> int:
@@ -680,7 +689,18 @@ class BatchContext:
             self._next_index = self.store.next_run_index()
             self._variables = self.store.load_variables()
             self.store._ensure_once_columns(self._variables)
-        except BaseException:
+        except BaseException as exc:
+            # the BEGIN above already ran: roll it back, or the open
+            # transaction leaks into whatever runs next on this
+            # connection (a retrying caller would then commit work of
+            # a failed attempt).  A simulated crash (CrashFault is a
+            # BaseException, not an Exception) must instead abandon
+            # the transaction exactly like a killed process would.
+            if isinstance(exc, Exception):
+                try:
+                    self.db.rollback()
+                except DatabaseError:
+                    pass
             self._release()
             raise
         tracer = current_tracer()
@@ -781,16 +801,29 @@ class BatchContext:
             return False
         try:
             if exc_type is None:
-                self.flush()
-                if self.indices:
-                    # one bump covering the whole batch — ends at the
-                    # same value as n serial bumps, so the stored bytes
-                    # stay identical to the serial path
-                    self.store.bump_data_version(len(self.indices))
-                # a concurrent reader's transient lock must not throw
-                # away a whole imported batch — commit under the
-                # shared retry policy
-                retry_locked(self.db.commit, site="db.batch")
+                try:
+                    self.flush()
+                    if self.indices:
+                        # one bump covering the whole batch — ends at
+                        # the same value as n serial bumps, so the
+                        # stored bytes stay identical to the serial
+                        # path
+                        self.store.bump_data_version(len(self.indices))
+                    # a concurrent reader's transient lock must not
+                    # throw away a whole imported batch — commit under
+                    # the shared retry policy
+                    retry_locked(self.db.commit, site="db.batch")
+                except Exception:
+                    # a failed flush/commit must not leave the batch
+                    # transaction open: the next commit on this
+                    # connection would silently persist the failed
+                    # batch (phantom runs).  CrashFault deliberately
+                    # bypasses this — a dead process cannot roll back.
+                    try:
+                        self.db.rollback()
+                    except DatabaseError:
+                        pass
+                    raise
             else:
                 try:
                     self.db.rollback()

@@ -341,6 +341,9 @@ class SQLiteServer(DatabaseServer):
     """File-backed server: a directory of ``<experiment>.db`` files."""
 
     backend_name = "sqlite"
+    #: each open_database call opens a fresh sqlite3 connection to the
+    #: file, so pooled handles can run transactions concurrently
+    independent_connections = True
 
     def __init__(self, directory: str | pathlib.Path, node: int = 0):
         super().__init__(node)

@@ -1,0 +1,12 @@
+"""Multi-tenant experiment service layer (paper Section 4.2).
+
+The shared front door over many experiments: bounded session pooling,
+per-experiment shard routing, and user-class admission control enforced
+at the session boundary.  See ``docs/service.md``.
+"""
+
+from .core import ExperimentService, ServiceConfig, Session
+from .stress import StressOptions, StressReport, run_stress
+
+__all__ = ["ExperimentService", "ServiceConfig", "Session",
+           "StressOptions", "StressReport", "run_stress"]

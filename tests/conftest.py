@@ -18,6 +18,15 @@ def server():
     return MemoryServer()
 
 
+@pytest.fixture(autouse=True)
+def _evict_memory_servers():
+    """Tests that resolve ``--backend memory`` through the per-directory
+    registry must not leak their databases into later tests."""
+    yield
+    from repro.db import clear_memory_servers
+    clear_memory_servers()
+
+
 def make_simple_experiment(server, name="simple"):
     """A small experiment: 2 once-params, 2 multi-params, 1 result."""
     return Experiment.create(server, name, [

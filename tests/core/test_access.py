@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import AccessControl, AccessError, UserClass
+from repro.core import AccessControl, AccessError, LockoutError, UserClass
 
 
 class TestUserClass:
@@ -80,3 +80,96 @@ class TestAccessControl:
     def test_default_serialisation(self):
         restored = AccessControl.from_dict(AccessControl().as_dict())
         assert restored.open_access
+
+
+class TestLockoutGuards:
+    """Regression: access changes must never strand a closed experiment
+    without any admin (it would become permanently inaccessible)."""
+
+    def closed_table(self):
+        ac = AccessControl()
+        ac.grant("alice", UserClass.ADMIN)
+        ac.grant("bob", UserClass.INPUT)
+        return ac
+
+    def test_revoke_last_admin_refused(self):
+        ac = self.closed_table()
+        with pytest.raises(LockoutError) as err:
+            ac.revoke("alice")
+        # the table is untouched and the error is an AccessError, so
+        # existing except-clauses keep working
+        assert isinstance(err.value, AccessError)
+        assert ac.class_of("alice") is UserClass.ADMIN
+
+    def test_revoke_sole_admin_of_single_user_table_refused(self):
+        ac = AccessControl()
+        ac.grant("alice", UserClass.ADMIN)
+        with pytest.raises(LockoutError):
+            ac.revoke("alice")
+
+    def test_revoke_admin_with_peer_admin_allowed(self):
+        ac = self.closed_table()
+        ac.grant("carol", UserClass.ADMIN)
+        ac.revoke("alice")
+        assert ac.class_of("alice") is None
+        assert ac.class_of("carol") is UserClass.ADMIN
+
+    def test_revoke_non_admin_always_allowed(self):
+        ac = self.closed_table()
+        ac.revoke("bob")
+        assert ac.class_of("bob") is None
+
+    def test_revoke_unknown_user_still_noop(self):
+        ac = self.closed_table()
+        ac.revoke("mallory")  # no raise, no change
+        assert ac.class_of("alice") is UserClass.ADMIN
+
+    def test_grant_demoting_last_admin_refused(self):
+        ac = self.closed_table()
+        with pytest.raises(LockoutError):
+            ac.grant("alice", UserClass.QUERY)
+        assert ac.class_of("alice") is UserClass.ADMIN
+
+    def test_grant_demotion_with_peer_admin_allowed(self):
+        ac = self.closed_table()
+        ac.grant("carol", UserClass.ADMIN)
+        ac.grant("alice", UserClass.QUERY)
+        assert ac.class_of("alice") is UserClass.QUERY
+
+    def test_regrant_admin_to_self_allowed(self):
+        ac = self.closed_table()
+        ac.grant("alice", UserClass.ADMIN)  # same class: not a demotion
+        assert ac.class_of("alice") is UserClass.ADMIN
+
+    def test_open_access_never_locks_out(self):
+        # open-access tables have no admins to protect; the first grant
+        # both closes the table and installs its rights
+        ac = AccessControl()
+        ac.grant("alice", UserClass.QUERY)
+        assert not ac.open_access
+        assert ac.class_of("alice") is UserClass.QUERY
+
+
+class TestEmptyClosedTableSemantics:
+    """Regression: an empty-users/closed dict must not rehydrate as a
+    table nobody can ever access again."""
+
+    def test_lockout_dict_normalises_to_open_access(self):
+        restored = AccessControl.from_dict(
+            {"open_access": False, "users": {}})
+        assert restored.open_access
+        restored.check("anyone", UserClass.ADMIN, "op")  # no raise
+
+    def test_closed_table_with_users_stays_closed(self):
+        restored = AccessControl.from_dict(
+            {"open_access": False, "users": {"alice": "admin"}})
+        assert not restored.open_access
+        assert restored.class_of("bob") is None
+
+    def test_roundtrip_never_produces_lockout(self):
+        ac = AccessControl()
+        ac.grant("alice", UserClass.ADMIN)
+        data = ac.as_dict()
+        data["users"] = {}  # simulate legacy/hand-edited meta
+        restored = AccessControl.from_dict(data)
+        assert restored.can("anyone", UserClass.ADMIN)

@@ -1,0 +1,37 @@
+"""Regression: the per-directory memory-server registry must be
+evictable — long-lived processes (the experiment service, test runs)
+would otherwise leak every database for the process lifetime."""
+
+from repro.db import (clear_memory_servers, evict_memory_server,
+                      memory_server_for)
+from repro.db.memory_backend import _DIRECTORY_SERVERS
+
+
+class TestMemoryServerRegistry:
+    def test_same_directory_same_server(self, tmp_path):
+        a = memory_server_for(tmp_path)
+        b = memory_server_for(tmp_path)
+        assert a is b
+
+    def test_evict_drops_registration_and_state(self, tmp_path):
+        server = memory_server_for(tmp_path)
+        server.create_database("exp")
+        assert evict_memory_server(tmp_path)
+        fresh = memory_server_for(tmp_path)
+        assert fresh is not server
+        assert fresh.list_databases() == []
+
+    def test_evict_unknown_directory_is_false(self, tmp_path):
+        assert not evict_memory_server(tmp_path / "never_registered")
+
+    def test_evict_closes_databases(self, tmp_path):
+        server = memory_server_for(tmp_path)
+        server.create_database("exp")
+        evict_memory_server(tmp_path)
+        assert server.list_databases() == []
+
+    def test_clear_empties_registry(self, tmp_path):
+        memory_server_for(tmp_path / "a")
+        memory_server_for(tmp_path / "b")
+        clear_memory_servers()
+        assert not _DIRECTORY_SERVERS

@@ -16,6 +16,7 @@ import zlib
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.core.errors import QueryError
 from repro.query import (Combiner, Operator, Output, ParameterSpec,
                          Query, Source)
 from repro.testing import (DIFF_BACKENDS, assert_identical, make_server,
@@ -110,6 +111,22 @@ def chains(draw):
     }
 
 
+def outcome_or_error(exp, query, **kw):
+    """A query outcome, with a legitimate rejection as first-class data.
+
+    Generated chains can be validly rejected by the engine — e.g.
+    ``norm`` by ``max`` over the ``diff`` of two identical branches
+    divides by zero, which the engine refuses eagerly.  For the
+    differential property that is still a comparable outcome:
+    *indistinguishable* means every backend (and the fused vs unfused
+    path) must reject the same chain with the same error.
+    """
+    try:
+        return query_outcome(exp, query, **kw)
+    except QueryError as exc:
+        return {"error": f"{type(exc).__name__}: {exc}"}
+
+
 class TestBackendsAreIndistinguishable:
     @settings(max_examples=30, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
@@ -118,7 +135,7 @@ class TestBackendsAreIndistinguishable:
         outcomes = {}
         for backend in DIFF_BACKENDS:
             exp = experiment(backend, chain["data_seed"])
-            outcomes[backend] = query_outcome(
+            outcomes[backend] = outcome_or_error(
                 exp, chain["query"],
                 cache=chain["cache"] or None,
                 parallel=chain["parallel"],
@@ -130,10 +147,13 @@ class TestBackendsAreIndistinguishable:
         if chain["pushdown"] and not chain["cache"]:
             # fused must also match the temp-table protocol, vector by
             # vector (absorbed interiors are absent from the fused run)
-            unfused = query_outcome(
+            unfused = outcome_or_error(
                 experiment(reference, chain["data_seed"]),
                 chain["query"], parallel=chain["parallel"])
             fused = outcomes[reference]
+            if "error" in fused or "error" in unfused:
+                assert_identical(unfused, fused, "fused vs unfused")
+                return
             assert_identical(unfused["artifacts"], fused["artifacts"],
                              "fused vs unfused artifacts")
             for name, snapshot in fused["vectors"].items():

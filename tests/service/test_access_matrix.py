@@ -1,0 +1,199 @@
+"""Access-enforcement matrix: both backends x user class x mutating
+operation, enforced at the session boundary (``-m service``).
+
+Every mutating entry point of :class:`repro.service.Session` must be
+admitted or denied purely by the acting user's class against the
+experiment's *current* access table — including a revocation performed
+mid-session by another session.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import (AccessError, DataType, Parameter, Result,
+                        RunData, UserClass)
+from repro.core.variables import Occurrence, Parameter as P
+from repro.db import MemoryDatabaseServer, MemoryServer
+from repro.service import ExperimentService
+
+pytestmark = pytest.mark.service
+
+BACKENDS = {"sqlite": MemoryServer, "memory": MemoryDatabaseServer}
+
+USERS = {"reader": UserClass.QUERY,
+         "ingest": UserClass.INPUT,
+         "boss": UserClass.ADMIN}
+
+
+def variables():
+    return [
+        Parameter("who", datatype=DataType.STRING),
+        Result("val", datatype=DataType.FLOAT,
+               occurrence=Occurrence.MULTIPLE),
+    ]
+
+
+def a_run():
+    return RunData(once={"who": "x"}, datasets=[{"val": 1.0}])
+
+
+#: every session entry point: (name, needed class, op(session))
+OPERATIONS = [
+    ("run_indices", UserClass.QUERY,
+     lambda s: s.run_indices("exp")),
+    ("run_records", UserClass.QUERY,
+     lambda s: s.run_records("exp")),
+    ("load_run", UserClass.QUERY,
+     lambda s: s.load_run("exp", 1)),
+    ("n_runs", UserClass.QUERY,
+     lambda s: s.n_runs("exp")),
+    ("describe", UserClass.QUERY,
+     lambda s: s.describe("exp")),
+    ("store_run", UserClass.INPUT,
+     lambda s: s.store_run("exp", a_run())),
+    # no input description: the admitted call fails *after* the class
+    # check, proving denial (below) comes from admission, not parsing
+    ("import_text", UserClass.INPUT,
+     lambda s: s.import_text("exp", "ignored")),
+    ("delete_run", UserClass.ADMIN,
+     lambda s: s.delete_run("exp", 1)),
+    ("add_variable", UserClass.ADMIN,
+     lambda s: s.add_variable("exp", P("extra",
+                                       datatype=DataType.INTEGER))),
+    ("remove_variable", UserClass.ADMIN,
+     lambda s: s.remove_variable("exp", "who")),
+    ("modify_variable", UserClass.ADMIN,
+     lambda s: s.modify_variable(
+         "exp", P("who", datatype=DataType.STRING,
+                  synopsis="renamed"))),
+    ("grant", UserClass.ADMIN,
+     lambda s: s.grant("exp", "newbie", UserClass.QUERY)),
+    ("revoke", UserClass.ADMIN,
+     lambda s: s.revoke("exp", "ingest")),
+    ("delete_experiment", UserClass.ADMIN,
+     lambda s: s.delete_experiment("exp")),
+]
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def service(request):
+    server = BACKENDS[request.param]()
+    svc = ExperimentService(server=server)
+    svc.create_experiment("exp", variables(), user="boss")
+    with svc.session("boss") as session:
+        for user, klass in USERS.items():
+            session.grant("exp", user, klass)
+        session.store_run("exp", a_run())  # run 1 for load/delete ops
+    yield svc
+    svc.close()
+
+
+class TestEnforcementMatrix:
+    @pytest.mark.parametrize("user", sorted(USERS))
+    @pytest.mark.parametrize("opname,needed,op",
+                             OPERATIONS,
+                             ids=[o[0] for o in OPERATIONS])
+    def test_matrix_cell(self, service, user, opname, needed, op):
+        allowed = USERS[user] >= needed
+        with service.session(user) as session:
+            if allowed:
+                if opname == "import_text":
+                    from repro.core.errors import InputError
+                    with pytest.raises(InputError):
+                        op(session)  # admitted, fails on parsing only
+                else:
+                    op(session)  # admitted: must not raise
+            else:
+                with pytest.raises(AccessError) as err:
+                    op(session)
+                assert err.value.user == user
+                assert err.value.needed == needed.name.lower()
+
+    def test_denied_op_counts_no_admitted_class(self, service):
+        before = service.stats()["counters"].get("service.ops.input", 0)
+        with service.session("reader") as session:
+            with pytest.raises(AccessError):
+                session.store_run("exp", a_run())
+        after = service.stats()["counters"].get("service.ops.input", 0)
+        assert after == before  # denial happened before admission count
+
+    def test_unknown_user_denied_everything(self, service):
+        with service.session("stranger") as session:
+            with pytest.raises(AccessError):
+                session.n_runs("exp")
+
+
+class TestMidSessionRevocation:
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_revocation_bites_on_next_op(self, backend):
+        server = BACKENDS[backend]()
+        svc = ExperimentService(server=server)
+        svc.create_experiment("exp", variables(), user="boss")
+        with svc.session("boss") as admin:
+            admin.grant("exp", "boss", UserClass.ADMIN)
+            admin.grant("exp", "ingest", UserClass.INPUT)
+
+        victim = svc.session("ingest")
+        try:
+            assert victim.store_run("exp", a_run()) == 1
+            with svc.session("boss") as admin:
+                admin.revoke("exp", "ingest")
+            # the already-open session loses the right on its next op
+            with pytest.raises(AccessError):
+                victim.store_run("exp", a_run())
+        finally:
+            victim.close()
+        with svc.session("boss") as admin:
+            assert admin.n_runs("exp") == 1
+        svc.close()
+
+    def test_concurrent_revocation_threads(self, tmp_path):
+        """A writer hammers store_run while an admin revokes: every
+        op either succeeds (before) or is denied (after) — no torn
+        state, and the successful count matches the stored runs.
+
+        Runs on the file-backed server: its multi-connection shard
+        pool lets the admin act *while* the writer is mid-burst."""
+        from repro.db import SQLiteServer
+        svc = ExperimentService(server=SQLiteServer(tmp_path))
+        svc.create_experiment("exp", variables(), user="boss")
+        with svc.session("boss") as admin:
+            admin.grant("exp", "boss", UserClass.ADMIN)
+            admin.grant("exp", "ingest", UserClass.INPUT)
+
+        stored, denied_early, denied = [], [], []
+        revoked = threading.Event()
+
+        def writer():
+            with svc.session("ingest") as session:
+                # keep writing until the revocation lands (bounded)
+                for _ in range(2000):
+                    try:
+                        stored.append(session.store_run("exp", a_run()))
+                    except AccessError:
+                        if not revoked.is_set():
+                            denied_early.append(1)
+                        denied.append(1)
+                        return
+
+        def revoker():
+            with svc.session("boss") as session:
+                # let the writer get going, then pull the rug
+                while len(stored) < 3:
+                    pass
+                revoked.set()
+                session.revoke("exp", "ingest")
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=revoker)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert denied, "revocation never took effect"
+        assert not denied_early, "denied before any revocation"
+        with svc.session("boss") as admin:
+            assert sorted(admin.run_indices("exp")) == sorted(stored)
+        svc.close()
